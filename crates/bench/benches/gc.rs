@@ -1,0 +1,77 @@
+//! Garbage-collection microbenchmarks: sustained random overwrite
+//! throughput on the SSD (copy-based merges), the SSC (silent eviction) and
+//! the SSC-R (silent eviction + bigger log), in host CPU terms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flashsim::{DataMode, FlashConfig};
+use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
+use ftl::{BlockDev, HybridFtl, SsdConfig};
+use simkit::SimRng;
+
+const DEVICE_BYTES: u64 = 64 << 20;
+const OPS: u64 = 8_192;
+
+fn churn_lbas(span: u64) -> Vec<u64> {
+    let mut rng = SimRng::seed_from(7);
+    // 64-block-aligned extents with internal churn, like the workloads.
+    (0..OPS)
+        .map(|_| (rng.gen_range(span / 64) * 64 + rng.gen_range(64)) % span)
+        .collect()
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc-churn");
+    group.sample_size(10);
+
+    group.bench_function("ssd-hybrid", |b| {
+        let page = vec![0u8; 4096];
+        b.iter_batched(
+            || {
+                let config =
+                    SsdConfig::paper_default(FlashConfig::with_capacity_bytes(DEVICE_BYTES));
+                let ssd = HybridFtl::new(config, DataMode::Discard);
+                let lbas = churn_lbas(ssd.capacity_pages());
+                (ssd, lbas)
+            },
+            |(mut ssd, lbas)| {
+                for &lba in &lbas {
+                    ssd.write(lba, &page).unwrap();
+                }
+                ssd
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for (label, ssc_r) in [("ssc-se-util", false), ("ssc-r-se-merge", true)] {
+        group.bench_function(label, |b| {
+            let page = vec![0u8; 4096];
+            b.iter_batched(
+                || {
+                    let flash = FlashConfig::with_capacity_bytes(DEVICE_BYTES);
+                    let config = if ssc_r {
+                        SscConfig::ssc_r(flash)
+                    } else {
+                        SscConfig::ssc(flash)
+                    }
+                    .with_data_mode(DataMode::Discard)
+                    .with_consistency(ConsistencyMode::None);
+                    let ssc = Ssc::new(config);
+                    let lbas = churn_lbas(ssc.data_capacity_pages());
+                    (ssc, lbas)
+                },
+                |(mut ssc, lbas)| {
+                    for &lba in &lbas {
+                        ssc.write_clean(lba, &page).unwrap();
+                    }
+                    ssc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gc);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! §6.3 microbenchmarks: sparse hash map vs dense table operation
+//! latencies.
+//!
+//! The paper: "The average latencies for remove and lookup operations are
+//! less than 0.8 µs for both SSD and SSC mappings. For inserts, the sparse
+//! hash map in SSC is 90% slower than SSD due to the rehashing operations.
+//! However, these latencies are much smaller than the bus control and data
+//! delays and thus have little impact."
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simkit::SimRng;
+use sparsemap::{DenseMap, SparseHashMap};
+use std::hint::black_box;
+
+const N: u64 = 100_000;
+const SPAN: u64 = 1 << 24;
+
+fn sparse_keys() -> Vec<u64> {
+    let mut rng = SimRng::seed_from(42);
+    (0..N).map(|_| rng.gen_range(SPAN)).collect()
+}
+
+fn filled_sparse(keys: &[u64]) -> SparseHashMap<u64> {
+    let mut m = SparseHashMap::with_capacity(keys.len());
+    for (i, &k) in keys.iter().enumerate() {
+        m.insert(k, i as u64);
+    }
+    m
+}
+
+fn filled_dense(keys: &[u64]) -> DenseMap<u64> {
+    let mut m = DenseMap::new(SPAN as usize);
+    for (i, &k) in keys.iter().enumerate() {
+        m.insert(k, i as u64).unwrap();
+    }
+    m
+}
+
+fn bench_maps(c: &mut Criterion) {
+    let keys = sparse_keys();
+    let mut group = c.benchmark_group("map-ops");
+    group.sample_size(20);
+
+    group.bench_function("sparse-insert", |b| {
+        b.iter_batched(
+            SparseHashMap::<u64>::new,
+            |mut m| {
+                for &k in &keys {
+                    m.insert(k, 1);
+                }
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("dense-insert", |b| {
+        b.iter_batched(
+            || DenseMap::<u64>::new(SPAN as usize),
+            |mut m| {
+                for &k in &keys {
+                    m.insert(k, 1).unwrap();
+                }
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let sparse = filled_sparse(&keys);
+    let dense = filled_dense(&keys);
+    group.bench_function("sparse-lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                if sparse.get(black_box(k)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("dense-lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                if dense.get(black_box(k)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    group.bench_function("sparse-remove", |b| {
+        b.iter_batched(
+            || filled_sparse(&keys),
+            |mut m| {
+                for &k in &keys {
+                    m.remove(k);
+                }
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("dense-remove", |b| {
+        b.iter_batched(
+            || filled_dense(&keys),
+            |mut m| {
+                for &k in &keys {
+                    m.remove(k);
+                }
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maps);
+criterion_main!(benches);

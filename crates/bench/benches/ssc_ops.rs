@@ -1,0 +1,115 @@
+//! Host-side cost of the SSC's six interface operations: how much real CPU
+//! the simulated device consumes per operation (the simulator's own
+//! overhead, not simulated time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flashsim::{DataMode, FlashConfig};
+use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
+
+fn device() -> Ssc {
+    // 64 MB device in discard mode, full consistency machinery.
+    let config = SscConfig::ssc(FlashConfig::with_capacity_bytes(64 << 20))
+        .with_data_mode(DataMode::Discard)
+        .with_consistency(ConsistencyMode::CleanAndDirty);
+    Ssc::new(config)
+}
+
+fn warm_device(blocks: u64) -> (Ssc, Vec<u8>) {
+    let mut ssc = device();
+    let page = vec![0u8; ssc.page_size()];
+    for lba in 0..blocks {
+        ssc.write_clean(lba, &page).unwrap();
+    }
+    (ssc, page)
+}
+
+fn bench_ssc_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssc-ops");
+    group.sample_size(20);
+
+    group.bench_function("write-clean", |b| {
+        b.iter_batched(
+            || warm_device(1024),
+            |(mut ssc, page)| {
+                for lba in 0..2048u64 {
+                    ssc.write_clean(lba * 7, &page).unwrap();
+                }
+                ssc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("write-dirty", |b| {
+        b.iter_batched(
+            || warm_device(1024),
+            |(mut ssc, page)| {
+                for lba in 0..2048u64 {
+                    ssc.write_dirty(lba % 4096, &page).unwrap();
+                }
+                ssc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("read-hit", |b| {
+        let (mut ssc, _) = warm_device(4096);
+        b.iter(|| {
+            let mut total = 0u64;
+            for lba in 0..4096u64 {
+                total += ssc.read(lba).unwrap().1.as_micros();
+            }
+            total
+        })
+    });
+
+    group.bench_function("read-miss", |b| {
+        let (mut ssc, _) = warm_device(64);
+        b.iter(|| {
+            let mut misses = 0u64;
+            for lba in (1 << 30)..(1 << 30) + 4096u64 {
+                if ssc.read(lba).is_err() {
+                    misses += 1;
+                }
+            }
+            misses
+        })
+    });
+
+    group.bench_function("clean-and-exists", |b| {
+        b.iter_batched(
+            || {
+                let (mut ssc, page) = warm_device(16);
+                for lba in 0..1024u64 {
+                    ssc.write_dirty(lba, &page).unwrap();
+                }
+                ssc
+            },
+            |mut ssc| {
+                for lba in 0..1024u64 {
+                    ssc.clean(lba).unwrap();
+                }
+                ssc.exists(0, 1 << 20)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("crash-recover", |b| {
+        b.iter_batched(
+            || warm_device(4096).0,
+            |mut ssc| {
+                ssc.crash();
+                ssc.recover().unwrap();
+                ssc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssc_ops);
+criterion_main!(benches);

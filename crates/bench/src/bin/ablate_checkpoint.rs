@@ -1,0 +1,60 @@
+//! Ablation: checkpoint policy (log-size ratio) vs runtime overhead and
+//! recovery time, on homes write-back.
+//!
+//! The paper checkpoints when the log exceeds two-thirds of the checkpoint
+//! size, which "limits both the number of log records flushed on a commit
+//! and the log size replayed on recovery".
+
+use cachemgr::{replay, FlashTierWb};
+use disksim::{Disk, DiskConfig, DiskDataMode};
+use flashsim::{DataMode, FlashConfig};
+use flashtier_bench::prelude::*;
+use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
+
+fn main() {
+    // Run homes 4x larger than the default experiments: the checkpoint
+    // policy only differentiates once the map outgrows the one-page floor.
+    let w = build_workload(trace::WorkloadSpec::homes(), scale_arg() * 0.25);
+    println!("Ablation: checkpoint log/checkpoint ratio on homes (write-back)\n");
+    let raw = (w.cache_blocks * 4096) as f64 / 0.84;
+    let mut rows = Vec::new();
+    for ratio in [0.1, 0.33, 0.67, 2.0, 8.0] {
+        let mut config = SscConfig::ssc(FlashConfig::with_capacity_bytes(raw as u64))
+            .with_consistency(ConsistencyMode::CleanAndDirty)
+            .with_data_mode(DataMode::Discard);
+        config.checkpoint_log_ratio = ratio;
+        let ssc = Ssc::new(config);
+        let disk_cfg = DiskConfig {
+            capacity_blocks: w.spec.range_blocks,
+            ..DiskConfig::paper_default()
+        };
+        let mut system = FlashTierWb::new(ssc, Disk::new(disk_cfg, DiskDataMode::Discard));
+        replay(&mut system, w.trace.prefix(0.15)).expect("warmup");
+        let stats = replay(&mut system, w.trace.suffix(0.15)).expect("replay");
+        let checkpoints = system.ssc().counters().checkpoints;
+        let ckpt_pages = system.ssc().checkpoint_counters().pages_written;
+        let recovery = system.crash_and_recover().expect("recovery");
+        rows.push(vec![
+            format!("{ratio:.2}"),
+            format!("{:.0}", stats.iops()),
+            checkpoints.to_string(),
+            ckpt_pages.to_string(),
+            recovery.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "log/ckpt ratio",
+                "IOPS",
+                "checkpoints",
+                "ckpt pages",
+                "recovery"
+            ],
+            &rows
+        )
+    );
+    println!("Expected: small ratios checkpoint constantly (runtime cost), large");
+    println!("ratios leave long logs to replay (recovery cost) — 2/3 balances both.");
+}

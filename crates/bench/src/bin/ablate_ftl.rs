@@ -1,0 +1,66 @@
+//! Ablation: the Native baseline's FTL — hybrid (FAST-like, the paper's)
+//! vs pure page-mapped with greedy GC — on the write-heavy homes workload.
+//!
+//! Quantifies how much of the SSD's problem is the *hybrid mapping* (merge
+//! costs) vs flash itself, and what page-level mapping costs in device
+//! memory — the §4.1 trade-off from the SSD side.
+
+use cachemgr::{replay, CacheSystem, NativeCache, NativeConsistency, NativeMode};
+use flashsim::DataMode;
+use flashtier_bench::prelude::*;
+use ftl::{BlockDev, HybridFtl, PageFtl, SsdConfig};
+
+fn run<D: BlockDev>(ssd: D, w: &ScaledWorkload) -> (f64, f64, f64, u64)
+where
+    NativeCache<D>: CacheSystem,
+{
+    let mut system = NativeCache::new(
+        ssd,
+        build::disk(w.spec.range_blocks),
+        NativeMode::WriteThrough,
+        NativeConsistency::None,
+    );
+    replay(&mut system, w.trace.prefix(0.15)).expect("warmup");
+    let stats = replay(&mut system, w.trace.suffix(0.15)).expect("replay");
+    (
+        stats.iops(),
+        system.ssd().write_amplification(),
+        system.device_memory().modeled_bytes as f64 / (1 << 20) as f64,
+        system.ssd().flash_counters().erases,
+    )
+}
+
+fn main() {
+    let w = build_workload(trace::WorkloadSpec::homes(), scale_arg());
+    println!("Ablation: Native SSD FTL — hybrid vs page-mapped, homes write-through\n");
+    let flash = flashsim::FlashConfig::with_capacity_bytes((w.cache_blocks * 4096) * 100 / 84);
+    let config = SsdConfig::paper_default(flash);
+    let hybrid = run(HybridFtl::new(config, DataMode::Discard), &w);
+    let paged = run(PageFtl::new(config, DataMode::Discard), &w);
+    let rows = vec![
+        vec![
+            "hybrid (FAST)".into(),
+            format!("{:.0}", hybrid.0),
+            format!("{:.2}", hybrid.1),
+            format!("{:.2}", hybrid.2),
+            hybrid.3.to_string(),
+        ],
+        vec![
+            "page-mapped".into(),
+            format!("{:.0}", paged.0),
+            format!("{:.2}", paged.1),
+            format!("{:.2}", paged.2),
+            paged.3.to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render(
+            &["FTL", "IOPS", "write amp", "device map MB", "erases"],
+            &rows
+        )
+    );
+    println!("Expected: page mapping avoids merges (lower WA, higher IOPS) but its");
+    println!("dense page table costs ~8x the hybrid map — the reason SSDs use hybrid");
+    println!("mapping and the reason the SSC's sparse map matters (§4.1).");
+}

@@ -1,0 +1,60 @@
+//! Ablation: the SSC-R log-block reserve (0–30% of capacity) vs write
+//! performance and device-memory cost, on the write-heavy homes workload.
+//!
+//! DESIGN.md calls out the SE-Merge trade: "more log blocks ... reduces
+//! garbage collection costs ... however, this approach increases memory
+//! usage to store fine-grained translations."
+
+use cachemgr::{replay, CacheSystem, FlashTierWt};
+use disksim::{Disk, DiskConfig, DiskDataMode};
+use flashsim::{DataMode, FlashConfig};
+use flashtier_bench::prelude::*;
+use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
+
+fn main() {
+    let w = build_workload(trace::WorkloadSpec::homes(), scale_arg());
+    println!("Ablation: SSC-R log-block fraction sweep on homes (write-through)\n");
+    let raw = (w.cache_blocks * 4096) as f64 / 0.84;
+    let mut rows = Vec::new();
+    for log_fraction in [0.02, 0.05, 0.07, 0.10, 0.20, 0.30] {
+        let mut config = SscConfig::ssc_r(FlashConfig::with_capacity_bytes(raw as u64))
+            .with_consistency(ConsistencyMode::None)
+            .with_data_mode(DataMode::Discard);
+        config.log_fraction = log_fraction;
+        let ssc = Ssc::new(config);
+        let disk_cfg = DiskConfig {
+            capacity_blocks: w.spec.range_blocks,
+            ..DiskConfig::paper_default()
+        };
+        let mut system = FlashTierWt::new(ssc, Disk::new(disk_cfg, DiskDataMode::Discard));
+        replay(&mut system, w.trace.prefix(0.15)).expect("warmup");
+        let stats = replay(&mut system, w.trace.suffix(0.15)).expect("replay");
+        let c = system.ssc().counters();
+        rows.push(vec![
+            format!("{:.0}%", log_fraction * 100.0),
+            format!("{:.0}", stats.iops()),
+            format!("{:.2}", system.ssc().write_amplification()),
+            c.full_merges.to_string(),
+            c.switch_merges.to_string(),
+            c.silent_evictions.to_string(),
+            mb(system.device_memory().modeled_bytes),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "log reserve",
+                "IOPS",
+                "write amp",
+                "full merges",
+                "switch merges",
+                "evictions",
+                "device MB"
+            ],
+            &rows
+        )
+    );
+    println!("Expected: larger log -> fewer full merges and higher IOPS, but more");
+    println!("device memory for page-level mappings (the SSC-R trade of §4.3/§6.3).");
+}

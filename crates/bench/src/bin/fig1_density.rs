@@ -1,0 +1,40 @@
+//! Figure 1: logical block address distribution — the CDF of unique block
+//! accesses across 100,000-block regions, restricted to the top-25% hot set.
+
+use flashtier_bench::prelude::*;
+
+fn main() {
+    let rows = fig1_density(scale_arg());
+    println!("Figure 1: logical block address distribution (top-25% hot blocks)");
+    println!("Paper: >55% of regions have <1% of blocks referenced; ~25% have >10%.\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.regions.to_string(),
+                pct(r.under_1pct),
+                pct(r.over_10pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "workload",
+                "touched regions",
+                "% regions <1% dense",
+                "% regions >10% dense"
+            ],
+            &table
+        )
+    );
+    println!("CDF series (x = unique blocks referenced in region, y = % of regions):");
+    for r in &rows {
+        println!("\n{}:", r.workload);
+        for (x, y) in &r.cdf {
+            println!("  {:>10.0}  {:>6.2}", x, y * 100.0);
+        }
+    }
+}

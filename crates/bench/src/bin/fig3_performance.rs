@@ -1,0 +1,39 @@
+//! Figure 3: application performance of FlashTier configurations
+//! normalized to the native write-back system.
+
+use flashtier_bench::prelude::*;
+
+fn main() {
+    let rows = fig3_performance(scale_arg());
+    println!("Figure 3: application performance (% of Native write-back IOPS)");
+    println!("Paper: homes/mail SSC WB +59-128%, SSC-R WB +101-167%, WT +38-102%;");
+    println!("       usr/proj near-identical to native.\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let p = r.percents();
+            vec![
+                r.workload.clone(),
+                format!("{:.0}", r.native_wb),
+                format!("{:.0}%", p[0].1),
+                format!("{:.0}%", p[1].1),
+                format!("{:.0}%", p[2].1),
+                format!("{:.0}%", p[3].1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "workload",
+                "Native WB IOPS",
+                "SSC WT",
+                "SSC-R WT",
+                "SSC WB",
+                "SSC-R WB"
+            ],
+            &table
+        )
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 5: recovery time after a crash.
+
+use flashtier_bench::prelude::*;
+
+fn main() {
+    let rows = fig5_recovery(scale_arg());
+    println!("Figure 5: recovery time");
+    println!("Paper (full scale): FlashTier 34ms (homes) .. 2.4s (proj);");
+    println!("  Native-FC 133ms .. 9.4s; Native-SSD 468ms .. 30s.\n");
+    println!("Paper-scale model (from the full cache sizes):");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.1}", r.cache_bytes_full as f64 / (1u64 << 30) as f64),
+                r.full_scale[0].to_string(),
+                r.full_scale[1].to_string(),
+                r.full_scale[2].to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "workload",
+                "cache GB",
+                "FlashTier",
+                "Native-FC",
+                "Native-SSD"
+            ],
+            &table
+        )
+    );
+    println!("Measured on the scaled caches (FlashTier = actual crash+recover):");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.flashtier_measured.to_string(),
+                r.native_measured[0].to_string(),
+                r.native_measured[1].to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["workload", "FlashTier", "Native-FC", "Native-SSD"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 6: garbage-collection performance — SSD vs SSC vs SSC-R,
+//! write-through, logging/checkpointing disabled.
+
+use flashtier_bench::prelude::*;
+
+fn main() {
+    let rows = gc_experiment(scale_arg());
+    println!("Figure 6: garbage collection performance (% of SSD IOPS)");
+    println!("Paper: homes/mail SSC +34-52%, SSC-R +71-83%; usr/proj near-identical.\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let base = r.devices[0].iops;
+            vec![
+                r.workload.clone(),
+                format!("{:.0}", base),
+                format!("{:.0}%", 100.0 * r.devices[1].iops / base),
+                format!("{:.0}%", 100.0 * r.devices[2].iops / base),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["workload", "SSD IOPS", "SSC", "SSC-R"], &table)
+    );
+}

@@ -1,0 +1,39 @@
+//! Runs every table and figure reproduction in sequence — the one-shot
+//! regeneration of the paper's evaluation section.
+
+use std::process::Command;
+
+fn main() {
+    let scale = flashtier_bench::scale_arg();
+    let runners = [
+        "table2_params",
+        "table3_workloads",
+        "fig1_density",
+        "fig3_performance",
+        "table4_memory",
+        "fig4_consistency",
+        "fig5_recovery",
+        "fig6_gc",
+        "table5_wear",
+        "ablate_logreserve",
+        "ablate_eviction",
+        "ablate_ftl",
+        "ablate_commit",
+        "ablate_checkpoint",
+        "ablate_mapping",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = exe.parent().expect("bin dir");
+    for runner in runners {
+        println!("\n{}\n=== {runner} ===\n", "=".repeat(72));
+        let status = Command::new(bin_dir.join(runner))
+            .args(["--scale", &scale.to_string()])
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {runner}: {e}"));
+        if !status.success() {
+            eprintln!("{runner} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,50 @@
+//! Table 2: emulation parameters.
+
+use flashsim::{FlashConfig, FlashTiming};
+use flashtier_bench::prelude::render;
+
+fn main() {
+    let c = FlashConfig::paper_default();
+    let t = FlashTiming::paper_default();
+    let g = c.geometry;
+    let rows = vec![
+        vec![
+            "Page read".into(),
+            format!("{} us", t.page_read.as_micros()),
+        ],
+        vec![
+            "Page write".into(),
+            format!("{} us", t.page_write.as_micros()),
+        ],
+        vec![
+            "Block erase".into(),
+            format!("{} us", t.block_erase.as_micros()),
+        ],
+        vec![
+            "Bus control delay".into(),
+            format!("{} us", t.bus_control.as_micros()),
+        ],
+        vec![
+            "Control delay".into(),
+            format!("{} us", t.control.as_micros()),
+        ],
+        vec!["Flash planes".into(), g.planes().to_string()],
+        vec!["Erase block/plane".into(), g.blocks_per_plane().to_string()],
+        vec!["Pages/erase block".into(), g.pages_per_block().to_string()],
+        vec!["Page size".into(), format!("{} bytes", g.page_size())],
+        vec![
+            "Derived: page read cost".into(),
+            format!("{} us", t.read_cost().as_micros()),
+        ],
+        vec![
+            "Derived: page write cost".into(),
+            format!("{} us", t.write_cost().as_micros()),
+        ],
+        vec![
+            "Derived: erase cost".into(),
+            format!("{} us", t.erase_cost().as_micros()),
+        ],
+    ];
+    println!("Table 2: emulation parameters (paper values reproduced as defaults)\n");
+    println!("{}", render(&["parameter", "value"], &rows));
+}

@@ -1,0 +1,80 @@
+//! Table 4: memory consumption of device and host mapping structures.
+
+use flashtier_bench::prelude::*;
+
+fn main() {
+    let rows = table4_memory(scale_arg());
+    println!("Table 4: memory consumption (MB)");
+    println!("Paper (device SSD/SSC/SSC-R; host Native/FTCM):");
+    println!("  homes 1.13/1.33/3.07; 8.83/0.96   mail 10.3/12.1/27.4; 79.3/8.66");
+    println!("  usr 66.8/71.1/174; 521/56.9       proj 72.1/78.2/189; 564/61.5");
+    println!("  proj-50 144/152/374; 1128/123\n");
+    println!("Paper-scale model (from the full Table 3 cache sizes):");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.1}", r.cache_bytes_full as f64 / (1u64 << 30) as f64),
+                mb(r.device_full[0]),
+                mb(r.device_full[1]),
+                mb(r.device_full[2]),
+                mb(r.host_full[0]),
+                mb(r.host_full[1]),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "workload",
+                "cache GB",
+                "SSD",
+                "SSC",
+                "SSC-R",
+                "Native host",
+                "FTCM host"
+            ],
+            &table
+        )
+    );
+    println!("Measured on the scaled replay (modeled bytes of the live structures):");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                mb(r.device_measured[0]),
+                mb(r.device_measured[1]),
+                mb(r.device_measured[2]),
+                mb(r.host_measured[0]),
+                mb(r.host_measured[1]),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "workload",
+                "SSD",
+                "SSC",
+                "SSC-R",
+                "Native host",
+                "FTCM host"
+            ],
+            &table
+        )
+    );
+    // Headline claims.
+    let homes = &rows[0];
+    let total_native = homes.device_full[0] + homes.host_full[0];
+    let total_ssc = homes.device_full[1] + homes.host_full[1];
+    let total_ssc_r = homes.device_full[2] + homes.host_full[1];
+    println!(
+        "homes totals: SSC saves {:.0}% of combined memory, SSC-R saves {:.0}% (paper: 78% / 60%).",
+        100.0 * (1.0 - total_ssc as f64 / total_native as f64),
+        100.0 * (1.0 - total_ssc_r as f64 / total_native as f64),
+    );
+}

@@ -1,0 +1,147 @@
+//! System constructors for the evaluation.
+//!
+//! All three cache devices are sized so their *data* capacity equals the
+//! workload's cache size (25% hot set):
+//!
+//! * the **SSD** hides 7% over-provisioning plus 7% log blocks;
+//! * the **SSC** needs no over-provisioning (§3.3) — only its 7% log budget;
+//! * the **SSC-R** statically reserves its maximum 20% log fraction (the
+//!   paper grows it dynamically from eviction proceeds; the static reserve
+//!   is the closest deterministic equivalent and is noted in DESIGN.md).
+
+use cachemgr::{FlashTierWb, FlashTierWt, NativeCache, NativeConsistency, NativeMode};
+use disksim::{Disk, DiskConfig, DiskDataMode};
+use flashsim::{DataMode, FlashConfig};
+use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
+use ftl::{HybridFtl, SsdConfig};
+
+/// 4 KB pages.
+pub const BLOCK_BYTES: u64 = 4096;
+
+/// Builds the backing disk for a workload range.
+pub fn disk(range_blocks: u64) -> Disk {
+    let config = DiskConfig {
+        capacity_blocks: range_blocks.max(1),
+        ..DiskConfig::paper_default()
+    };
+    Disk::new(config, DiskDataMode::Discard)
+}
+
+/// Raw flash sized so that usable data capacity is `cache_blocks` after
+/// reserving `hidden_fraction` of it.
+fn flash_for(cache_blocks: u64, hidden_fraction: f64) -> FlashConfig {
+    let raw_bytes = (cache_blocks * BLOCK_BYTES) as f64 / (1.0 - hidden_fraction);
+    FlashConfig::with_capacity_bytes(raw_bytes as u64 + 4 * 256 * 1024)
+}
+
+/// The Native SSD for a given cache size.
+pub fn ssd_device(cache_blocks: u64) -> HybridFtl {
+    // 7% over-provisioning + 7% log + GC reserve.
+    let config = SsdConfig::paper_default(flash_for(cache_blocks, 0.16));
+    HybridFtl::new(config, DataMode::Discard)
+}
+
+/// The SSC (SE-Util, 7% log) on the *same raw flash* as the SSD: the SSC
+/// "does not require over provisioning" (§3.3), so the SSD's hidden 7%
+/// becomes usable cache space.
+pub fn ssc_device(cache_blocks: u64, consistency: ConsistencyMode) -> Ssc {
+    let config = SscConfig::ssc(flash_for(cache_blocks, 0.16))
+        .with_consistency(consistency)
+        .with_data_mode(DataMode::Discard);
+    Ssc::new(config)
+}
+
+/// The SSC-R (SE-Merge, log fraction up to 20%) on the same raw flash; the
+/// larger log budget trades data capacity for cheaper merges.
+pub fn ssc_r_device(cache_blocks: u64, consistency: ConsistencyMode) -> Ssc {
+    let config = SscConfig::ssc_r(flash_for(cache_blocks, 0.16))
+        .with_consistency(consistency)
+        .with_data_mode(DataMode::Discard);
+    Ssc::new(config)
+}
+
+/// FlashTier write-through system.
+pub fn flashtier_wt(
+    cache_blocks: u64,
+    range_blocks: u64,
+    ssc_r: bool,
+    consistency: ConsistencyMode,
+) -> FlashTierWt {
+    let ssc = if ssc_r {
+        ssc_r_device(cache_blocks, consistency)
+    } else {
+        ssc_device(cache_blocks, consistency)
+    };
+    FlashTierWt::new(ssc, disk(range_blocks))
+}
+
+/// FlashTier write-back system.
+pub fn flashtier_wb(
+    cache_blocks: u64,
+    range_blocks: u64,
+    ssc_r: bool,
+    consistency: ConsistencyMode,
+) -> FlashTierWb {
+    let ssc = if ssc_r {
+        ssc_r_device(cache_blocks, consistency)
+    } else {
+        ssc_device(cache_blocks, consistency)
+    };
+    FlashTierWb::new(ssc, disk(range_blocks))
+}
+
+/// Native system over the hybrid-FTL SSD.
+pub fn native(
+    cache_blocks: u64,
+    range_blocks: u64,
+    mode: NativeMode,
+    consistency: NativeConsistency,
+) -> NativeCache<HybridFtl> {
+    NativeCache::new(
+        ssd_device(cache_blocks),
+        disk(range_blocks),
+        mode,
+        consistency,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl::BlockDev;
+
+    #[test]
+    fn devices_meet_cache_capacity() {
+        let cache = 4096; // blocks
+        let ssd = ssd_device(cache);
+        assert!(
+            ssd.capacity_pages() >= cache,
+            "ssd {} < {cache}",
+            ssd.capacity_pages()
+        );
+        let ssc = ssc_device(cache, ConsistencyMode::None);
+        assert!(ssc.data_capacity_pages() >= cache);
+        let sscr = ssc_r_device(cache, ConsistencyMode::None);
+        assert!(sscr.data_capacity_pages() >= cache);
+    }
+
+    #[test]
+    fn systems_assemble_and_serve() {
+        use cachemgr::CacheSystem;
+        let mut wt = flashtier_wt(1024, 1 << 20, false, ConsistencyMode::None);
+        let mut wb = flashtier_wb(1024, 1 << 20, true, ConsistencyMode::CleanAndDirty);
+        let mut nat = native(
+            1024,
+            1 << 20,
+            NativeMode::WriteBack,
+            NativeConsistency::Durable,
+        );
+        let data = vec![1u8; 4096];
+        wt.write(5, &data).unwrap();
+        wb.write(5, &data).unwrap();
+        nat.write(5, &data).unwrap();
+        assert_eq!(wt.read(5).unwrap().0.len(), 4096);
+        assert_eq!(wb.read(5).unwrap().0.len(), 4096);
+        assert_eq!(nat.read(5).unwrap().0.len(), 4096);
+    }
+}

@@ -1,0 +1,7 @@
+//! Convenience re-exports for experiment binaries.
+
+pub use crate::build;
+pub use crate::experiments::*;
+pub use crate::scale_arg;
+pub use crate::scaled::{build_workload, paper_workloads, ScaledWorkload};
+pub use crate::tablefmt::{mb, pct, render};

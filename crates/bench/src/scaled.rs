@@ -1,0 +1,74 @@
+//! Scaled workload construction.
+
+use trace::{generate, Trace, WorkloadSpec};
+
+/// A workload instantiated at some scale, with its generated trace and the
+/// cache sizing derived the paper's way (top 25% of unique blocks).
+#[derive(Debug, Clone)]
+pub struct ScaledWorkload {
+    /// The scaled specification.
+    pub spec: WorkloadSpec,
+    /// The generated trace.
+    pub trace: Trace,
+    /// Cache size in 4 KB blocks (25% of the unique blocks).
+    pub cache_blocks: u64,
+    /// The unscaled specification (for paper-scale analytic models).
+    pub full_spec: WorkloadSpec,
+}
+
+/// Default shrink factor per workload, chosen so each replay runs a few
+/// hundred thousand operations.
+pub fn default_scale(name: &str) -> f64 {
+    match name {
+        "homes" => 60.0,
+        "mail" => 100.0,
+        "usr" => 500.0,
+        "proj" => 500.0,
+        _ => 100.0,
+    }
+}
+
+/// Builds one workload at `multiplier` times its default scale factor
+/// (multiplier 1.0 = defaults; 0.5 = twice as large an experiment).
+pub fn build_workload(full_spec: WorkloadSpec, multiplier: f64) -> ScaledWorkload {
+    let factor = (default_scale(&full_spec.name) * multiplier).max(1.0);
+    let spec = full_spec.scaled(factor);
+    let trace = generate(&spec);
+    let cache_blocks = spec.cache_blocks(0.25);
+    ScaledWorkload {
+        spec,
+        trace,
+        cache_blocks,
+        full_spec,
+    }
+}
+
+/// Builds all four paper workloads.
+pub fn paper_workloads(multiplier: f64) -> Vec<ScaledWorkload> {
+    WorkloadSpec::paper_four()
+        .into_iter()
+        .map(|w| build_workload(w, multiplier))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_consistent_sizing() {
+        let w = build_workload(WorkloadSpec::homes(), 20.0);
+        assert_eq!(w.trace.len() as u64, w.spec.total_ops);
+        assert_eq!(w.cache_blocks, w.spec.cache_blocks(0.25));
+        assert_eq!(w.full_spec.name, "homes");
+        assert!(w.cache_blocks > 0);
+    }
+
+    #[test]
+    fn all_four_build() {
+        let all = paper_workloads(50.0);
+        assert_eq!(all.len(), 4);
+        let names: Vec<&str> = all.iter().map(|w| w.spec.name.as_str()).collect();
+        assert_eq!(names, vec!["homes", "mail", "usr", "proj"]);
+    }
+}

@@ -1,0 +1,185 @@
+//! A Bloom filter for the miss path (§4.2.1).
+//!
+//! "The ability to return errors from reads ... allows the cache manager to
+//! request any block, without knowing if it is cached. This means that the
+//! manager need not track the state of all cached blocks precisely;
+//! approximation structures such as a Bloom Filter can be used safely to
+//! prevent reads that miss in the SSC."
+//!
+//! The filter tracks blocks *inserted* into the cache. Because the SSC may
+//! silently evict, a filter hit is only a hint (the device read may still
+//! miss) — but a filter **miss is definitive**: the block was never
+//! written, so the manager can go straight to disk and skip the device
+//! round-trip. False positives only cost a wasted device lookup, never a
+//! wrong answer; the one-sided error is exactly why the paper calls it
+//! safe.
+//!
+//! Deletions are not supported (classic Bloom semantics); the manager
+//! rebuilds the filter periodically from the device when saturation makes
+//! false positives common.
+
+/// A fixed-size Bloom filter over 64-bit block addresses.
+///
+/// # Examples
+///
+/// ```
+/// use cachemgr::bloom::BloomFilter;
+///
+/// let mut filter = BloomFilter::for_capacity(10_000, 0.01);
+/// filter.insert(42);
+/// assert!(filter.may_contain(42));
+/// assert!(!filter.may_contain(43) || true); // false positives possible, negatives never wrong
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+    hashes: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Sizes the filter for `capacity` keys at roughly `fp_rate` false
+    /// positives (standard `m = -n ln p / ln^2 2`, `k = m/n ln 2`),
+    /// rounded up to a power-of-two bit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `fp_rate` is outside `(0, 1)`.
+    pub fn for_capacity(capacity: u64, fp_rate: f64) -> Self {
+        assert!(capacity > 0, "bloom capacity must be non-zero");
+        assert!(fp_rate > 0.0 && fp_rate < 1.0, "fp rate must be in (0,1)");
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(capacity as f64) * fp_rate.ln() / (ln2 * ln2)).ceil() as u64;
+        let m = m.next_power_of_two().max(64);
+        let k = ((m as f64 / capacity as f64) * ln2)
+            .round()
+            .clamp(1.0, 16.0) as u32;
+        BloomFilter {
+            bits: vec![0; (m / 64) as usize],
+            mask: m - 1,
+            hashes: k,
+            inserted: 0,
+        }
+    }
+
+    /// Bit size of the filter.
+    pub fn bits(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Number of hash probes per key.
+    pub fn hashes(&self) -> u32 {
+        self.hashes
+    }
+
+    /// Keys inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.bits() / 8
+    }
+
+    #[inline]
+    fn probe(&self, key: u64, i: u32) -> (usize, u64) {
+        // Double hashing: h1 + i*h2 with two independent mixes.
+        let h1 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(29);
+        let h2 = key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F).rotate_right(31) | 1;
+        let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) & self.mask;
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    /// Marks `key` present.
+    pub fn insert(&mut self, key: u64) {
+        for i in 0..self.hashes {
+            let (word, bit) = self.probe(key, i);
+            self.bits[word] |= bit;
+        }
+        self.inserted += 1;
+    }
+
+    /// Returns `false` only if `key` was definitely never inserted.
+    pub fn may_contain(&self, key: u64) -> bool {
+        (0..self.hashes).all(|i| {
+            let (word, bit) = self.probe(key, i);
+            self.bits[word] & bit != 0
+        })
+    }
+
+    /// Fraction of bits set — a saturation signal for rebuilds.
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        set as f64 / self.bits() as f64
+    }
+
+    /// Clears the filter.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::for_capacity(1_000, 0.01);
+        let keys: Vec<u64> = (0..1_000).map(|i| i * 2_654_435_761).collect();
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            assert!(f.may_contain(k), "false negative for {k}");
+        }
+        assert_eq!(f.inserted(), 1_000);
+    }
+
+    #[test]
+    fn false_positive_rate_in_ballpark() {
+        let mut f = BloomFilter::for_capacity(10_000, 0.01);
+        for i in 0..10_000u64 {
+            f.insert(i);
+        }
+        let fps = (10_000..110_000u64).filter(|&k| f.may_contain(k)).count();
+        let rate = fps as f64 / 100_000.0;
+        assert!(rate < 0.05, "false positive rate {rate}");
+        assert!(f.fill_ratio() < 0.6, "fill {}", f.fill_ratio());
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::for_capacity(100, 0.01);
+        assert!((0..1000u64).all(|k| !f.may_contain(k)));
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::for_capacity(100, 0.01);
+        f.insert(5);
+        assert!(f.may_contain(5));
+        f.clear();
+        assert!(!f.may_contain(5));
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn sizing_math() {
+        let f = BloomFilter::for_capacity(1_000, 0.01);
+        // ~9.6 bits/key rounded to a power of two.
+        assert!(f.bits() >= 8_192 && f.bits() <= 16_384, "{} bits", f.bits());
+        assert!((4..=16).contains(&f.hashes()));
+        assert_eq!(f.memory_bytes(), f.bits() / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        BloomFilter::for_capacity(0, 0.01);
+    }
+}

@@ -1,0 +1,62 @@
+//! Cache-manager errors.
+
+use std::fmt;
+
+/// Errors surfaced by cache-manager operations.
+///
+/// Cache misses are *not* errors at this layer — the manager transparently
+/// fetches from disk. These represent genuine failures of the layers below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmError {
+    /// The solid-state cache failed.
+    Ssc(flashtier_core::SscError),
+    /// The baseline SSD failed.
+    Ssd(ftl::FtlError),
+    /// The disk tier failed.
+    Disk(disksim::DiskError),
+}
+
+impl fmt::Display for CmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmError::Ssc(e) => write!(f, "ssc: {e}"),
+            CmError::Ssd(e) => write!(f, "ssd: {e}"),
+            CmError::Disk(e) => write!(f, "disk: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CmError {}
+
+impl From<flashtier_core::SscError> for CmError {
+    fn from(e: flashtier_core::SscError) -> Self {
+        CmError::Ssc(e)
+    }
+}
+
+impl From<ftl::FtlError> for CmError {
+    fn from(e: ftl::FtlError) -> Self {
+        CmError::Ssd(e)
+    }
+}
+
+impl From<disksim::DiskError> for CmError {
+    fn from(e: disksim::DiskError) -> Self {
+        CmError::Disk(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CmError = flashtier_core::SscError::NotPresent(1).into();
+        assert!(e.to_string().starts_with("ssc:"));
+        let e: CmError = ftl::FtlError::OutOfSpace.into();
+        assert!(e.to_string().starts_with("ssd:"));
+        let e: CmError = disksim::DiskError::LbaOutOfRange(1).into();
+        assert!(e.to_string().starts_with("disk:"));
+    }
+}

@@ -1,0 +1,465 @@
+//! The FlashTier write-back cache manager (§4.4).
+//!
+//! "On a write, the cache manager uses write-dirty to write the data to the
+//! SSC only. The cache manager maintains an in-memory table of cached dirty
+//! blocks. Using its table, the manager can detect when the percentage of
+//! dirty blocks within the SSC exceeds a set threshold, and if so issues
+//! clean commands for LRU blocks. Within the set of LRU blocks, the cache
+//! manager prioritizes cleaning of contiguous dirty blocks, which can be
+//! merged together for writing to disk."
+
+use disksim::Disk;
+use flashtier_core::{Ssc, SscError};
+use simkit::Duration;
+use sparsemap::MapMemory;
+
+use crate::dirty_table::DirtyTable;
+use crate::metrics::MgrCounters;
+use crate::system::CacheSystem;
+use crate::Result;
+
+/// Longest contiguous dirty run merged into one disk write.
+const CLEAN_RUN_MAX: usize = 64;
+
+/// What the write-back manager does with a block after writing it back to
+/// disk.
+///
+/// The paper's manager uses [`DestagePolicy::Clean`] ("the manager
+/// notifies the SSC that the block is clean, which then allows the SSC to
+/// evict the block in the future ... the manager can still consult the
+/// cache on reads"). It also describes — but does not use — explicit
+/// eviction ("the cache manager can leave data dirty and explicitly evict
+/// selected victim blocks"); [`DestagePolicy::Evict`] implements that
+/// alternative: space is reclaimed immediately at the cost of losing the
+/// cached copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DestagePolicy {
+    /// `clean` the block: it remains readable until the SSC needs space.
+    Clean,
+    /// `evict` the block: the device reclaims it immediately.
+    Evict,
+}
+
+/// Write-back FlashTier system: SSC + disk + dirty-block table.
+#[derive(Debug)]
+pub struct FlashTierWb {
+    ssc: Ssc,
+    disk: Disk,
+    dirty: DirtyTable,
+    /// Clean when tracked dirty blocks exceed this count.
+    dirty_limit: usize,
+    /// Cleaning stops once the count falls to this.
+    dirty_low: usize,
+    destage: DestagePolicy,
+    counters: MgrCounters,
+}
+
+impl FlashTierWb {
+    /// Assembles the system with the paper's default 20% dirty threshold.
+    pub fn new(ssc: Ssc, disk: Disk) -> Self {
+        Self::with_dirty_fraction(ssc, disk, 0.20)
+    }
+
+    /// Assembles the system with a custom dirty threshold as a fraction of
+    /// the cache's data capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a block-size mismatch or a fraction outside `(0, 1]`.
+    pub fn with_dirty_fraction(ssc: Ssc, disk: Disk, fraction: f64) -> Self {
+        assert_eq!(
+            ssc.page_size(),
+            disk.block_size(),
+            "cache/disk block size mismatch"
+        );
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "dirty fraction must be in (0,1]"
+        );
+        let capacity = ssc.data_capacity_pages() as usize;
+        let dirty_limit = ((capacity as f64 * fraction) as usize).max(1);
+        FlashTierWb {
+            ssc,
+            disk,
+            dirty: DirtyTable::new(capacity.max(dirty_limit * 2)),
+            dirty_limit,
+            dirty_low: (dirty_limit * 4 / 5).max(1),
+            destage: DestagePolicy::Clean,
+            counters: MgrCounters::default(),
+        }
+    }
+
+    /// Selects what happens to blocks after write-back (default:
+    /// [`DestagePolicy::Clean`]).
+    pub fn with_destage_policy(mut self, policy: DestagePolicy) -> Self {
+        self.destage = policy;
+        self
+    }
+
+    /// The cache device.
+    pub fn ssc(&self) -> &Ssc {
+        &self.ssc
+    }
+
+    /// Mutable access to the cache device (crash injection in tests).
+    pub fn ssc_mut(&mut self) -> &mut Ssc {
+        &mut self.ssc
+    }
+
+    /// The disk tier.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Currently tracked dirty blocks.
+    pub fn dirty_blocks(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// The cleaning threshold in blocks.
+    pub fn dirty_limit(&self) -> usize {
+        self.dirty_limit
+    }
+
+    /// Writes back contiguous LRU runs until the dirty count reaches the low
+    /// watermark, returning the simulated time consumed.
+    fn clean_down_to(&mut self, target: usize) -> Result<Duration> {
+        let mut cost = Duration::ZERO;
+        while self.dirty.len() > target {
+            let run = self.dirty.lru_run(CLEAN_RUN_MAX);
+            if run.is_empty() {
+                break;
+            }
+            // Gather the data for the whole run, then write it to disk as
+            // one positioned transfer.
+            let mut blocks = Vec::with_capacity(run.len());
+            for &lba in &run {
+                match self.ssc.read(lba) {
+                    Ok((data, rcost)) => {
+                        cost += rcost;
+                        blocks.push(Some(data));
+                    }
+                    // Defensive: the SSC never silently evicts dirty data,
+                    // but a stale table entry just gets dropped.
+                    Err(SscError::NotPresent(_)) => blocks.push(None),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            let start = run[0];
+            let present: Vec<&[u8]> = blocks.iter().flatten().map(|d| d.as_slice()).collect();
+            if !present.is_empty() && present.len() == run.len() {
+                cost += self.disk.write_run(start, &present)?;
+            } else {
+                for (i, data) in blocks.iter().enumerate() {
+                    if let Some(data) = data {
+                        cost += self.disk.write(run[i], data)?;
+                    }
+                }
+            }
+            for &lba in &run {
+                match self.destage {
+                    DestagePolicy::Clean => {
+                        cost += self.ssc.clean(lba)?;
+                        self.counters.cleans_issued += 1;
+                    }
+                    DestagePolicy::Evict => {
+                        cost += self.ssc.evict(lba)?;
+                        self.counters.evictions += 1;
+                    }
+                }
+                self.dirty.remove(lba);
+                self.counters.writebacks += 1;
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Simulates a crash followed by recovery: the SSC recovers its maps
+    /// (the returned time), then the manager repopulates the dirty table
+    /// with `exists` — which "can overlap normal activity and thus does not
+    /// delay recovery".
+    ///
+    /// # Errors
+    ///
+    /// Flash faults during device recovery.
+    pub fn crash_and_recover(&mut self) -> Result<Duration> {
+        self.ssc.crash();
+        let t = self.ssc.recover()?;
+        self.dirty = DirtyTable::new(self.dirty.capacity());
+        let (dirty_lbas, _) = self.ssc.exists(0, u64::MAX);
+        for lba in dirty_lbas {
+            self.dirty.touch(lba);
+        }
+        Ok(t)
+    }
+}
+
+impl CacheSystem for FlashTierWb {
+    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+        self.counters.reads += 1;
+        match self.ssc.read(lba) {
+            Ok((data, cost)) => {
+                self.counters.read_hits += 1;
+                if self.dirty.contains(lba) {
+                    self.dirty.touch(lba);
+                }
+                Ok((data, cost))
+            }
+            Err(SscError::NotPresent(_)) => {
+                self.counters.read_misses += 1;
+                let (data, disk_cost) = self.disk.read(lba)?;
+                let fill_cost = match self.ssc.write_clean(lba, &data) {
+                    Ok(c) => c,
+                    Err(SscError::OutOfSpace) => {
+                        // Scattered dirty pages can pin every erase block;
+                        // clean some and retry, or serve without caching.
+                        let cleaned = self.clean_down_to(self.dirty_low)?;
+                        cleaned
+                            + self
+                                .ssc
+                                .write_clean(lba, &data)
+                                .unwrap_or(simkit::Duration::ZERO)
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                Ok((data, disk_cost + fill_cost))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {
+        self.counters.writes += 1;
+        let mut cost = Duration::ZERO;
+        let write_result = self.ssc.write_dirty(lba, data);
+        let wcost = match write_result {
+            Ok(c) => c,
+            Err(SscError::OutOfSpace) => {
+                // The device ran out of clean victims; clean aggressively
+                // and retry once.
+                cost += self.clean_down_to(self.dirty_low / 2)?;
+                self.ssc.write_dirty(lba, data)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        cost += wcost;
+        self.dirty.touch(lba);
+        if self.dirty.len() > self.dirty_limit {
+            cost += self.clean_down_to(self.dirty_low)?;
+        }
+        Ok(cost)
+    }
+
+    fn counters(&self) -> MgrCounters {
+        self.counters
+    }
+
+    fn host_memory(&self) -> MapMemory {
+        self.dirty.memory()
+    }
+
+    fn device_memory(&self) -> MapMemory {
+        self.ssc.map_memory()
+    }
+
+    fn block_size(&self) -> usize {
+        self.ssc.page_size()
+    }
+
+    fn name(&self) -> &'static str {
+        "flashtier-wb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disksim::{DiskConfig, DiskDataMode};
+    use flashtier_core::SscConfig;
+
+    fn system() -> FlashTierWb {
+        let ssc = Ssc::new(SscConfig::small_test());
+        let disk = Disk::new(DiskConfig::small_test(), DiskDataMode::Store);
+        FlashTierWb::new(ssc, disk)
+    }
+
+    fn block(fill: u8) -> Vec<u8> {
+        vec![fill; 512]
+    }
+
+    #[test]
+    fn write_goes_to_cache_only() {
+        let mut s = system();
+        s.write(5, &block(1)).unwrap();
+        assert_eq!(
+            s.disk.counters().writes,
+            0,
+            "write-back never writes through"
+        );
+        assert_eq!(s.dirty_blocks(), 1);
+        let (data, _) = s.read(5).unwrap();
+        assert_eq!(data, block(1));
+    }
+
+    #[test]
+    fn cleaning_triggers_above_threshold_and_writes_back() {
+        let mut s = system();
+        let limit = s.dirty_limit();
+        for lba in 0..(limit as u64 + 4) {
+            s.write(lba, &block(lba as u8)).unwrap();
+        }
+        assert!(s.counters().writebacks > 0, "cleaner should have run");
+        assert!(s.dirty_blocks() <= s.dirty_limit());
+        assert!(s.disk.counters().writes > 0);
+        // Written-back data really is on disk.
+        let cleaned_lba = 0u64; // LRU block was cleaned first
+        let (disk_data, _) = s.disk.read(cleaned_lba).unwrap();
+        assert_eq!(disk_data, block(0));
+        // And still readable through the cache (clean ≠ evicted).
+        let (data, _) = s.read(cleaned_lba).unwrap();
+        assert_eq!(data, block(0));
+    }
+
+    #[test]
+    fn contiguous_runs_are_merged_for_disk() {
+        let mut s = system();
+        let limit = s.dirty_limit() as u64;
+        // Dirty a contiguous region to overflow the threshold.
+        for lba in 0..limit + 4 {
+            s.write(lba, &block(lba as u8)).unwrap();
+        }
+        let d = s.disk.counters();
+        assert!(
+            d.sequential_hits > 0,
+            "contiguous cleaning should stream: {d:?}"
+        );
+    }
+
+    #[test]
+    fn read_miss_fills_clean() {
+        let mut s = system();
+        s.disk.write(50, &block(9)).unwrap();
+        let (data, _) = s.read(50).unwrap();
+        assert_eq!(data, block(9));
+        assert_eq!(s.dirty_blocks(), 0, "fills are clean");
+        assert_eq!(s.counters().read_misses, 1);
+        let (_, hit_cost) = s.read(50).unwrap();
+        assert!(hit_cost.as_micros() < 2000);
+    }
+
+    #[test]
+    fn dirty_data_survives_crash_and_table_rebuilds() {
+        let mut s = system();
+        for lba in 0..8u64 {
+            s.write(lba, &block(lba as u8 + 1)).unwrap();
+        }
+        let dirty_before = s.dirty_blocks();
+        let t = s.crash_and_recover().unwrap();
+        assert!(t.as_micros() > 0);
+        assert_eq!(
+            s.dirty_blocks(),
+            dirty_before,
+            "exists() rebuilds the dirty table"
+        );
+        for lba in 0..8u64 {
+            let (data, _) = s.read(lba).unwrap();
+            assert_eq!(data, block(lba as u8 + 1), "dirty lba {lba} lost");
+        }
+    }
+
+    #[test]
+    fn sustained_writes_never_wedge() {
+        let mut s = system();
+        // Far more writes than the cache can hold dirty.
+        for i in 0..2_000u64 {
+            let lba = (i * 7) % 64;
+            s.write(lba, &block(i as u8)).unwrap();
+        }
+        assert!(s.counters().writebacks > 0);
+        // Every block readable with its newest value via cache or disk.
+        for lba in 0..64u64 {
+            s.read(lba).unwrap();
+        }
+    }
+
+    #[test]
+    fn host_memory_tracks_only_dirty() {
+        let mut s = system();
+        s.disk.write(1, &block(1)).unwrap();
+        s.read(1).unwrap(); // clean fill
+        assert_eq!(s.host_memory().entries, 0);
+        s.write(2, &block(2)).unwrap();
+        assert_eq!(s.host_memory().entries, 1);
+        assert_eq!(
+            s.host_memory().modeled_bytes,
+            crate::dirty_table::ENTRY_BYTES
+        );
+    }
+
+    #[test]
+    fn reads_refresh_dirty_recency() {
+        let mut s = system();
+        s.write(1, &block(1)).unwrap();
+        s.write(2, &block(2)).unwrap();
+        s.read(1).unwrap(); // touch 1 so 2 becomes LRU
+        assert_eq!(s.dirty.lru_block(), Some(2));
+    }
+}
+
+#[cfg(test)]
+mod destage_tests {
+    use super::*;
+    use disksim::{DiskConfig, DiskDataMode};
+    use flashtier_core::SscConfig;
+
+    fn block(fill: u8) -> Vec<u8> {
+        vec![fill; 512]
+    }
+
+    fn system(policy: DestagePolicy) -> FlashTierWb {
+        let ssc = Ssc::new(SscConfig::small_test());
+        let disk = Disk::new(DiskConfig::small_test(), DiskDataMode::Store);
+        FlashTierWb::new(ssc, disk).with_destage_policy(policy)
+    }
+
+    #[test]
+    fn evict_destage_reclaims_but_loses_cached_copies() {
+        let mut cleaner = system(DestagePolicy::Clean);
+        let mut evicter = system(DestagePolicy::Evict);
+        let limit = cleaner.dirty_limit() as u64;
+        for lba in 0..limit + 4 {
+            cleaner.write(lba, &block(lba as u8)).unwrap();
+            evicter.write(lba, &block(lba as u8)).unwrap();
+        }
+        assert!(cleaner.counters().cleans_issued > 0);
+        assert!(evicter.counters().evictions > 0);
+        assert_eq!(evicter.counters().cleans_issued, 0);
+        // The cleaner's destaged blocks are still cache hits; the
+        // evicter's destaged blocks go to disk.
+        let hits_before = (cleaner.counters().read_hits, evicter.counters().read_hits);
+        for lba in 0..4u64 {
+            let (a, _) = cleaner.read(lba).unwrap();
+            let (b, _) = evicter.read(lba).unwrap();
+            assert_eq!(a, block(lba as u8));
+            assert_eq!(b, block(lba as u8), "evicted block still correct via disk");
+        }
+        let hits_after = (cleaner.counters().read_hits, evicter.counters().read_hits);
+        assert!(hits_after.0 - hits_before.0 >= hits_after.1 - hits_before.1);
+        // Evicted blocks freed device space.
+        assert!(evicter.ssc().cached_pages() <= cleaner.ssc().cached_pages());
+    }
+
+    #[test]
+    fn evict_destage_data_survives_crash() {
+        let mut s = system(DestagePolicy::Evict);
+        let limit = s.dirty_limit() as u64;
+        for lba in 0..limit + 4 {
+            s.write(lba, &block(lba as u8)).unwrap();
+        }
+        s.crash_and_recover().unwrap();
+        for lba in 0..limit + 4 {
+            let (data, _) = s.read(lba).unwrap();
+            assert_eq!(data, block(lba as u8), "lba {lba}");
+        }
+    }
+}

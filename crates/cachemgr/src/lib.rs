@@ -1,0 +1,45 @@
+//! Cache managers: the OS-side half of FlashTier.
+//!
+//! "A cache manager interposes above the disk device driver in the operating
+//! system to send requests to either the flash device or the disk" (§3).
+//! This crate implements both managers the paper evaluates:
+//!
+//! * the **FlashTier cache manager** over an SSC —
+//!   [`FlashTierWt`] (write-through: zero host state, every read consults
+//!   the cache, misses fill with `write-clean`) and [`FlashTierWb`]
+//!   (write-back: `write-dirty` to the cache only, an in-memory
+//!   [`DirtyTable`] of dirty blocks, LRU cleaning with contiguous-run
+//!   merging, `exists`-based crash recovery) — §4.4;
+//! * the **Native manager** over a conventional SSD ([`NativeCache`]),
+//!   modelled on Facebook's FlashCache: a host-side mapping table for every
+//!   cached block (22 bytes/block), manager-controlled LRU replacement, and
+//!   per-update metadata persistence to the SSD for crash safety — the
+//!   baseline of §6.
+//!
+//! [`replay`] drives any manager with a trace and gathers the
+//! IOPS/latency/hit-rate statistics behind Figures 3, 4 and 6.
+
+pub mod bloom;
+pub mod dirty_table;
+pub mod error;
+pub mod facade;
+pub mod flashtier_wb;
+pub mod flashtier_wt;
+pub mod lru;
+pub mod metrics;
+pub mod native;
+pub mod system;
+
+pub use bloom::BloomFilter;
+pub use dirty_table::DirtyTable;
+pub use error::CmError;
+pub use facade::ByteFacade;
+pub use flashtier_wb::{DestagePolicy, FlashTierWb};
+pub use flashtier_wt::FlashTierWt;
+pub use lru::LruList;
+pub use metrics::MgrCounters;
+pub use native::{NativeCache, NativeConsistency, NativeMode};
+pub use system::{replay, CacheSystem, ReplayStats};
+
+/// Result alias for cache-manager operations.
+pub type Result<T> = std::result::Result<T, CmError>;

@@ -1,0 +1,200 @@
+//! An intrusive LRU list over fixed slot indices.
+//!
+//! Both the FlashTier dirty-block table and the Native manager's replacement
+//! policy keep their LRU state as two 2-byte-class indices per entry —
+//! exactly the "two 2-byte indexes to the previous and next blocks in the
+//! LRU cache replacement list" of §4.4. This list stores `prev`/`next`
+//! arrays indexed by slot, with O(1) touch/insert/remove and no per-node
+//! allocation.
+
+/// Sentinel meaning "no slot".
+const NIL: u32 = u32::MAX;
+
+/// A doubly-linked LRU list over slots `0..capacity`.
+///
+/// The front is the most recently used slot; the back is the LRU victim.
+///
+/// # Examples
+///
+/// ```
+/// use cachemgr::LruList;
+///
+/// let mut lru = LruList::new(4);
+/// lru.push_front(0);
+/// lru.push_front(1);
+/// lru.touch(0); // 0 becomes most recent
+/// assert_eq!(lru.pop_back(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruList {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl LruList {
+    /// Creates an empty list for `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        LruList {
+            prev: vec![NIL; capacity],
+            next: vec![NIL; capacity],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of linked slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no slot is linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `slot` is currently linked.
+    pub fn contains(&self, slot: u32) -> bool {
+        self.head == slot || self.prev[slot as usize] != NIL
+    }
+
+    /// Links `slot` at the front (most recently used).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the slot is already linked.
+    pub fn push_front(&mut self, slot: u32) {
+        debug_assert!(!self.contains(slot), "slot {slot} already linked");
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+        self.len += 1;
+    }
+
+    /// Unlinks `slot`. No-op if it is not linked.
+    pub fn remove(&mut self, slot: u32) {
+        if !self.contains(slot) {
+            return;
+        }
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = NIL;
+        self.len -= 1;
+    }
+
+    /// Moves `slot` to the front; links it if it was not present.
+    pub fn touch(&mut self, slot: u32) {
+        self.remove(slot);
+        self.push_front(slot);
+    }
+
+    /// The least recently used slot, if any.
+    pub fn back(&self) -> Option<u32> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// Unlinks and returns the least recently used slot.
+    pub fn pop_back(&mut self) -> Option<u32> {
+        let victim = self.back()?;
+        self.remove(victim);
+        Some(victim)
+    }
+
+    /// Iterates slots from least to most recently used.
+    pub fn iter_lru(&self) -> impl Iterator<Item = u32> + '_ {
+        std::iter::successors(self.back(), move |&s| {
+            let p = self.prev[s as usize];
+            (p != NIL).then_some(p)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_touch_pop_order() {
+        let mut l = LruList::new(8);
+        for i in 0..4 {
+            l.push_front(i);
+        }
+        assert_eq!(l.len(), 4);
+        // LRU order: 0 oldest.
+        assert_eq!(l.back(), Some(0));
+        l.touch(0);
+        assert_eq!(l.back(), Some(1));
+        assert_eq!(l.pop_back(), Some(1));
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), Some(3));
+        assert_eq!(l.pop_back(), Some(0));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_middle_and_reinsert() {
+        let mut l = LruList::new(4);
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        l.remove(1);
+        assert!(!l.contains(1));
+        assert_eq!(l.iter_lru().collect::<Vec<_>>(), vec![0, 2]);
+        l.push_front(1);
+        assert_eq!(l.iter_lru().collect::<Vec<_>>(), vec![0, 2, 1]);
+        // Removing an unlinked slot is a no-op.
+        l.remove(3);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn touch_links_missing_slot() {
+        let mut l = LruList::new(4);
+        l.touch(2);
+        assert!(l.contains(2));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        let mut l = LruList::new(2);
+        l.push_front(1);
+        assert_eq!(l.back(), Some(1));
+        l.remove(1);
+        assert!(l.is_empty());
+        assert_eq!(l.back(), None);
+        assert_eq!(l.iter_lru().count(), 0);
+    }
+
+    #[test]
+    fn slot_zero_is_distinguishable_from_nil() {
+        let mut l = LruList::new(2);
+        l.push_front(0);
+        assert!(l.contains(0));
+        assert!(!l.contains(1));
+        l.push_front(1);
+        l.remove(0);
+        assert!(l.contains(1));
+        assert!(!l.contains(0));
+    }
+}

@@ -1,0 +1,97 @@
+//! Manager-level counters.
+
+/// Counters every cache manager maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MgrCounters {
+    /// Application reads handled.
+    pub reads: u64,
+    /// Application writes handled.
+    pub writes: u64,
+    /// Reads served from the cache tier.
+    pub read_hits: u64,
+    /// Reads that had to go to disk.
+    pub read_misses: u64,
+    /// Dirty blocks written back to disk by the cleaner.
+    pub writebacks: u64,
+    /// `clean` notifications sent to the SSC (FlashTier write-back only).
+    pub cleans_issued: u64,
+    /// Cache-tier evictions driven by the manager (Native only).
+    pub evictions: u64,
+    /// Metadata pages persisted to the SSD (Native write-back only).
+    pub metadata_writes: u64,
+    /// Device lookups skipped by the Bloom filter (write-through only).
+    pub bloom_skips: u64,
+}
+
+impl MgrCounters {
+    /// Read miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_misses as f64 / self.reads as f64
+        }
+    }
+
+    /// Read hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / self.reads as f64
+        }
+    }
+
+    /// Difference of two snapshots (`self` later than `earlier`) — used to
+    /// exclude cache warm-up from measurements.
+    pub fn since(&self, earlier: &MgrCounters) -> MgrCounters {
+        MgrCounters {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            read_hits: self.read_hits - earlier.read_hits,
+            read_misses: self.read_misses - earlier.read_misses,
+            writebacks: self.writebacks - earlier.writebacks,
+            cleans_issued: self.cleans_issued - earlier.cleans_issued,
+            evictions: self.evictions - earlier.evictions,
+            metadata_writes: self.metadata_writes - earlier.metadata_writes,
+            bloom_skips: self.bloom_skips - earlier.bloom_skips,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let c = MgrCounters {
+            reads: 10,
+            read_hits: 7,
+            read_misses: 3,
+            ..Default::default()
+        };
+        assert!((c.miss_rate() - 0.3).abs() < 1e-12);
+        assert!((c.hit_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(MgrCounters::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = MgrCounters {
+            reads: 5,
+            writes: 2,
+            ..Default::default()
+        };
+        let b = MgrCounters {
+            reads: 9,
+            writes: 10,
+            read_hits: 1,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.reads, 4);
+        assert_eq!(d.writes, 8);
+        assert_eq!(d.read_hits, 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Replay determinism: the entire stack is deterministic simulated time, so
+//! identical systems replaying identical traces must produce bit-identical
+//! results — the property every experiment in the paper reproduction rests
+//! on.
+
+use cachemgr::{
+    replay, CacheSystem, FlashTierWb, FlashTierWt, NativeCache, NativeConsistency, NativeMode,
+};
+use disksim::{Disk, DiskConfig, DiskDataMode};
+use flashsim::{DataMode, FlashConfig};
+use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
+use ftl::{HybridFtl, SsdConfig};
+use trace::{generate, WorkloadSpec};
+
+fn workload() -> trace::Trace {
+    generate(&WorkloadSpec::homes().scaled(2_000.0))
+}
+
+fn flash() -> FlashConfig {
+    FlashConfig::with_capacity_bytes(8 << 20)
+}
+
+fn disk(range: u64) -> Disk {
+    Disk::new(
+        DiskConfig {
+            capacity_blocks: range,
+            ..DiskConfig::paper_default()
+        },
+        DiskDataMode::Discard,
+    )
+}
+
+fn assert_deterministic<S: CacheSystem>(mut build: impl FnMut() -> S) {
+    let t = workload();
+    let mut a = build();
+    let mut b = build();
+    let ra = replay(&mut a, &t.events).unwrap();
+    let rb = replay(&mut b, &t.events).unwrap();
+    assert_eq!(ra.sim_time, rb.sim_time, "simulated time must be identical");
+    assert_eq!(ra.counters, rb.counters);
+    assert_eq!(
+        a.device_memory().modeled_bytes,
+        b.device_memory().modeled_bytes
+    );
+    assert_eq!(a.host_memory().modeled_bytes, b.host_memory().modeled_bytes);
+}
+
+#[test]
+fn flashtier_wt_replay_is_deterministic() {
+    let range = workload().range_blocks;
+    assert_deterministic(|| {
+        let config = SscConfig::ssc(flash())
+            .with_data_mode(DataMode::Discard)
+            .with_consistency(ConsistencyMode::CleanAndDirty);
+        FlashTierWt::new(Ssc::new(config), disk(range))
+    });
+}
+
+#[test]
+fn flashtier_wb_replay_is_deterministic() {
+    let range = workload().range_blocks;
+    assert_deterministic(|| {
+        let config = SscConfig::ssc_r(flash())
+            .with_data_mode(DataMode::Discard)
+            .with_consistency(ConsistencyMode::DirtyOnly);
+        FlashTierWb::new(Ssc::new(config), disk(range))
+    });
+}
+
+#[test]
+fn native_replay_is_deterministic() {
+    let range = workload().range_blocks;
+    assert_deterministic(|| {
+        let ssd = HybridFtl::new(SsdConfig::paper_default(flash()), DataMode::Discard);
+        NativeCache::new(
+            ssd,
+            disk(range),
+            NativeMode::WriteBack,
+            NativeConsistency::Durable,
+        )
+    });
+}
+
+#[test]
+fn crash_recovery_is_deterministic() {
+    let t = workload();
+    let run = || {
+        let config = SscConfig::ssc(flash())
+            .with_data_mode(DataMode::Discard)
+            .with_consistency(ConsistencyMode::CleanAndDirty);
+        let mut system = FlashTierWb::new(Ssc::new(config), disk(t.range_blocks));
+        replay(&mut system, t.prefix(0.5)).unwrap();
+        let recovery = system.crash_and_recover().unwrap();
+        let stats = replay(&mut system, t.suffix(0.5)).unwrap();
+        (recovery, stats.sim_time, system.dirty_blocks())
+    };
+    assert_eq!(run(), run());
+}

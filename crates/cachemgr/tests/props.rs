@@ -1,0 +1,151 @@
+//! Property tests for cache-manager data structures: the Bloom filter's
+//! one-sided error, the LRU list against a reference deque, and the dirty
+//! table against a reference ordered set.
+
+use cachemgr::{BloomFilter, DirtyTable, LruList};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..500),
+        probes in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut filter = BloomFilter::for_capacity(keys.len() as u64, 0.01);
+        for &k in &keys {
+            filter.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(filter.may_contain(k), "false negative for {}", k);
+        }
+        // Probes of non-members may return either answer; just exercise.
+        for &p in &probes {
+            let _ = filter.may_contain(p);
+        }
+        prop_assert_eq!(filter.inserted(), keys.len() as u64);
+    }
+
+    #[test]
+    fn lru_matches_reference_deque(
+        ops in proptest::collection::vec((0u32..32, 0u8..3), 1..400),
+    ) {
+        let mut sut = LruList::new(32);
+        // Reference: front = most recent.
+        let mut reference: VecDeque<u32> = VecDeque::new();
+        for (slot, op) in ops {
+            match op {
+                0 => {
+                    // touch (links if missing)
+                    sut.touch(slot);
+                    reference.retain(|&s| s != slot);
+                    reference.push_front(slot);
+                }
+                1 => {
+                    sut.remove(slot);
+                    reference.retain(|&s| s != slot);
+                }
+                _ => {
+                    prop_assert_eq!(sut.pop_back(), reference.pop_back());
+                }
+            }
+            prop_assert_eq!(sut.len(), reference.len());
+            prop_assert_eq!(sut.back(), reference.back().copied());
+        }
+        // Full-order check.
+        let order: Vec<u32> = sut.iter_lru().collect();
+        let expect: Vec<u32> = reference.iter().rev().copied().collect();
+        prop_assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn dirty_table_matches_reference(
+        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..400),
+    ) {
+        let mut sut = DirtyTable::new(64);
+        let mut reference: VecDeque<u64> = VecDeque::new(); // front = MRU
+        for (lba, is_touch) in ops {
+            if is_touch {
+                prop_assert!(sut.touch(lba));
+                reference.retain(|&l| l != lba);
+                reference.push_front(lba);
+            } else {
+                let was_present = reference.iter().any(|&l| l == lba);
+                prop_assert_eq!(sut.remove(lba), was_present);
+                reference.retain(|&l| l != lba);
+            }
+            prop_assert_eq!(sut.len(), reference.len());
+            prop_assert_eq!(sut.lru_block(), reference.back().copied());
+        }
+        let mut all: Vec<u64> = sut.iter().collect();
+        all.sort_unstable();
+        let mut expect: Vec<u64> = reference.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn dirty_table_lru_run_is_contiguous_and_contains_lru(
+        lbas in proptest::collection::hash_set(0u64..128, 1..64),
+        max_len in 1usize..16,
+    ) {
+        let mut table = DirtyTable::new(128);
+        for &lba in &lbas {
+            table.touch(lba);
+        }
+        let run = table.lru_run(max_len);
+        prop_assert!(!run.is_empty());
+        prop_assert!(run.len() <= max_len);
+        prop_assert!(run.contains(&table.lru_block().unwrap()));
+        // Ascending and contiguous, all dirty.
+        for w in run.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+        for &lba in &run {
+            prop_assert!(table.contains(lba));
+        }
+    }
+}
+
+mod facade_props {
+    use cachemgr::{ByteFacade, FlashTierWt};
+    use disksim::{Disk, DiskConfig, DiskDataMode};
+    use flashtier_core::{Ssc, SscConfig};
+    use proptest::prelude::*;
+
+    const SPAN_BYTES: usize = 16 * 512; // 16 blocks of 512 B
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn byte_facade_matches_flat_memory(
+            ops in proptest::collection::vec(
+                (0usize..SPAN_BYTES, 0usize..600, any::<bool>(), any::<u8>()),
+                1..60,
+            ),
+        ) {
+            let ssc = Ssc::new(SscConfig::small_test());
+            let disk = Disk::new(DiskConfig::small_test(), DiskDataMode::Store);
+            let mut facade = ByteFacade::new(FlashTierWt::new(ssc, disk));
+            let mut shadow = vec![0u8; SPAN_BYTES];
+            for (offset, len, is_write, fill) in ops {
+                let len = len.min(SPAN_BYTES - offset);
+                if is_write {
+                    let data: Vec<u8> =
+                        (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+                    facade.write_bytes(offset as u64, &data).unwrap();
+                    shadow[offset..offset + len].copy_from_slice(&data);
+                } else {
+                    let (got, _) = facade.read_bytes(offset as u64, len).unwrap();
+                    prop_assert_eq!(&got[..], &shadow[offset..offset + len]);
+                }
+            }
+            // Final full-span sweep.
+            let (all, _) = facade.read_bytes(0, SPAN_BYTES).unwrap();
+            prop_assert_eq!(all, shadow);
+        }
+    }
+}

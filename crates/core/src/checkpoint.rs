@@ -1,0 +1,313 @@
+//! Checkpointing (§4.2.2 "Checkpointing").
+//!
+//! "SSCs checkpoint the mapping data structure periodically so that the log
+//! size is less than a fixed fraction of the size of checkpoint. ... It only
+//! checkpoints the forward mappings because of the high degree of sparseness
+//! in the logical address space. ... FlashTier maintains two checkpoints on
+//! dedicated regions spread across different planes of the SSC that bypass
+//! address translation."
+//!
+//! The store keeps the two alternating checkpoint slots; writing serializes
+//! the forward maps and charges sequential flash-write time, loading charges
+//! sequential read time. Both sizes feed the Figure 5 recovery model.
+
+use flashsim::FlashTiming;
+use simkit::Duration;
+
+use crate::map::{BlockEntry, PagePtr, SscMaps};
+
+/// Serialized bytes per page-level entry (one CRC-framed record).
+pub const PAGE_ENTRY_BYTES: u64 = crate::wal::RECORD_BYTES;
+/// Serialized bytes per block-level entry (a two-frame record).
+pub const BLOCK_ENTRY_BYTES: u64 = 2 * crate::wal::RECORD_BYTES;
+
+/// One durable snapshot of the forward maps.
+///
+/// The snapshot is held as the encoded bytes a real device would write —
+/// a CRC-framed stream of insert records (see [`crate::codec`]) — so
+/// restoring a checkpoint decodes and validates the wire format, and a
+/// corrupted slot is *detected* rather than trusted (which is what the
+/// two-slot scheme exists for).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The log position this snapshot covers: records with LSN greater than
+    /// this must be replayed on top.
+    pub lsn: u64,
+    /// Entry counts at write time (pages, blocks) — sizing metadata kept in
+    /// the checkpoint header.
+    pub entry_counts: (usize, usize),
+    /// The encoded snapshot.
+    bytes: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Serializes the forward maps into a snapshot covering `lsn`.
+    pub fn capture(maps: &SscMaps, lsn: u64) -> Self {
+        use crate::wal::LogRecord;
+        let mut bytes = Vec::new();
+        let mut pages = 0;
+        for (lba, ptr) in maps.pages.iter() {
+            let record = LogRecord::InsertPage {
+                lba,
+                ppn: ptr.ppn().raw(),
+                dirty: ptr.dirty(),
+            };
+            for frame in crate::codec::encode_record(lsn, &record) {
+                bytes.extend_from_slice(&frame);
+            }
+            pages += 1;
+        }
+        let mut blocks = 0;
+        for (lbn, entry) in maps.blocks.iter() {
+            let record = LogRecord::InsertBlock {
+                lbn,
+                pbn: entry.pbn,
+                valid: entry.valid,
+                dirty: entry.dirty,
+            };
+            for frame in crate::codec::encode_record(lsn, &record) {
+                bytes.extend_from_slice(&frame);
+            }
+            blocks += 1;
+        }
+        Checkpoint {
+            lsn,
+            entry_counts: (pages, blocks),
+            bytes,
+        }
+    }
+
+    /// Serialized size in bytes (the real encoded length).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Decodes and rebuilds the in-memory maps from the snapshot.
+    ///
+    /// Returns `None` if the snapshot fails validation (torn or corrupted)
+    /// — the caller falls back to the other slot.
+    pub fn restore(&self, ppb: u32) -> Option<SscMaps> {
+        let (records, end) = crate::codec::decode_records(&self.bytes);
+        if end != crate::codec::DecodeEnd::Clean {
+            return None;
+        }
+        let mut maps = SscMaps::new(ppb);
+        for (_, record) in records {
+            match record {
+                crate::wal::LogRecord::InsertPage { lba, ppn, dirty } => {
+                    maps.insert_page(lba, PagePtr::new(flashsim::Ppn(ppn), dirty));
+                }
+                crate::wal::LogRecord::InsertBlock {
+                    lbn,
+                    pbn,
+                    valid,
+                    dirty,
+                } => {
+                    maps.insert_block(lbn, BlockEntry::new(pbn, valid, dirty));
+                }
+                // Checkpoints hold only insert records.
+                _ => return None,
+            }
+        }
+        Some(maps)
+    }
+
+    /// Test hook: flips one byte of the snapshot, simulating media
+    /// corruption of this checkpoint region.
+    pub fn corrupt(&mut self) {
+        if let Some(byte) = self.bytes.get_mut(0) {
+            *byte ^= 0xFF;
+        }
+    }
+}
+
+/// Statistics for checkpoint activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointCounters {
+    /// Checkpoints written.
+    pub written: u64,
+    /// Flash pages consumed writing checkpoints.
+    pub pages_written: u64,
+}
+
+/// The two-slot checkpoint store.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    slots: [Option<Checkpoint>; 2],
+    next_slot: usize,
+    timing: FlashTiming,
+    page_size: usize,
+    counters: CheckpointCounters,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new(timing: FlashTiming, page_size: usize) -> Self {
+        CheckpointStore {
+            slots: [None, None],
+            next_slot: 0,
+            timing,
+            page_size,
+            counters: CheckpointCounters::default(),
+        }
+    }
+
+    /// Serializes `maps` as a new checkpoint covering `lsn`, overwriting the
+    /// older slot, and returns the simulated write cost.
+    pub fn write(&mut self, maps: &SscMaps, lsn: u64) -> Duration {
+        let ckpt = Checkpoint::capture(maps, lsn);
+        let pages = ckpt.bytes().div_ceil(self.page_size as u64).max(1);
+        self.counters.written += 1;
+        self.counters.pages_written += pages;
+        self.slots[self.next_slot] = Some(ckpt);
+        self.next_slot ^= 1;
+        self.timing.metadata_cost() + self.timing.write_cost() * pages
+    }
+
+    /// The newest complete checkpoint (possibly corrupted; callers validate
+    /// via [`Checkpoint::restore`] and fall back to
+    /// [`CheckpointStore::previous`]).
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        match (&self.slots[0], &self.slots[1]) {
+            (Some(a), Some(b)) => Some(if a.lsn >= b.lsn { a } else { b }),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// The older of the two slots — the fallback when the newest snapshot
+    /// fails validation.
+    pub fn previous(&self) -> Option<&Checkpoint> {
+        match (&self.slots[0], &self.slots[1]) {
+            (Some(a), Some(b)) => Some(if a.lsn >= b.lsn { b } else { a }),
+            _ => None,
+        }
+    }
+
+    /// Test hook: corrupts the newest snapshot in place.
+    pub fn corrupt_latest(&mut self) {
+        let newest = match (&self.slots[0], &self.slots[1]) {
+            (Some(a), Some(b)) => {
+                if a.lsn >= b.lsn {
+                    0
+                } else {
+                    1
+                }
+            }
+            (Some(_), None) => 0,
+            (None, Some(_)) => 1,
+            (None, None) => return,
+        };
+        if let Some(slot) = &mut self.slots[newest] {
+            slot.corrupt();
+        }
+    }
+
+    /// Size of the newest checkpoint in bytes (0 when none) — the reference
+    /// point for the log-size policy.
+    pub fn latest_bytes(&self) -> u64 {
+        self.latest().map(|c| c.bytes()).unwrap_or(0)
+    }
+
+    /// Simulated cost of reading the newest checkpoint back at recovery.
+    pub fn load_cost(&self) -> Duration {
+        match self.latest() {
+            Some(c) => {
+                let pages = c.bytes().div_ceil(self.page_size as u64).max(1);
+                self.timing.metadata_cost() + self.timing.read_cost() * pages
+            }
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn counters(&self) -> CheckpointCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim::Ppn;
+
+    fn sample_maps() -> SscMaps {
+        let mut m = SscMaps::new(64);
+        for i in 0..100 {
+            m.insert_page(i * 7, PagePtr::new(Ppn(i), i % 2 == 0));
+        }
+        for i in 0..10 {
+            m.insert_block(i, BlockEntry::new(i + 50, u64::MAX, i));
+        }
+        m
+    }
+
+    #[test]
+    fn write_and_restore_round_trip() {
+        let maps = sample_maps();
+        let mut store = CheckpointStore::new(FlashTiming::paper_default(), 4096);
+        let cost = store.write(&maps, 42);
+        assert!(cost.as_micros() > 0);
+        let ckpt = store.latest().unwrap();
+        assert_eq!(ckpt.lsn, 42);
+        let restored = ckpt.restore(64).expect("intact snapshot decodes");
+        assert_eq!(restored.pages.len(), maps.pages.len());
+        assert_eq!(restored.blocks.len(), maps.blocks.len());
+        for i in 0..100u64 {
+            assert_eq!(
+                restored.lookup(i * 7).map(|r| r.ppn()),
+                maps.lookup(i * 7).map(|r| r.ppn())
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_latest_falls_back_to_previous() {
+        let maps = sample_maps();
+        let mut store = CheckpointStore::new(FlashTiming::paper_default(), 4096);
+        store.write(&maps, 10);
+        store.write(&maps, 20);
+        store.corrupt_latest();
+        assert!(
+            store.latest().unwrap().restore(64).is_none(),
+            "corruption detected"
+        );
+        let fallback = store.previous().unwrap();
+        assert_eq!(fallback.lsn, 10);
+        assert!(fallback.restore(64).is_some(), "older slot still intact");
+    }
+
+    #[test]
+    fn two_slots_alternate_and_latest_wins() {
+        let mut store = CheckpointStore::new(FlashTiming::paper_default(), 4096);
+        let maps = sample_maps();
+        store.write(&maps, 10);
+        store.write(&maps, 20);
+        assert_eq!(store.latest().unwrap().lsn, 20);
+        store.write(&maps, 30);
+        // Slot holding lsn=10 was overwritten; 20 and 30 remain.
+        assert_eq!(store.latest().unwrap().lsn, 30);
+        assert_eq!(store.counters().written, 3);
+    }
+
+    #[test]
+    fn bytes_and_costs_scale_with_entries() {
+        let maps = sample_maps();
+        let mut store = CheckpointStore::new(FlashTiming::paper_default(), 4096);
+        store.write(&maps, 1);
+        // Page entries take one 40-byte frame, block entries two.
+        let expect = 100 * 40 + 10 * 80;
+        assert_eq!(store.latest_bytes(), expect);
+        assert_eq!(store.latest().unwrap().entry_counts, (100, 10));
+        assert!(store.load_cost().as_micros() >= 77);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = CheckpointStore::new(FlashTiming::paper_default(), 4096);
+        assert!(store.latest().is_none());
+        assert_eq!(store.latest_bytes(), 0);
+        assert_eq!(store.load_cost(), Duration::ZERO);
+    }
+}

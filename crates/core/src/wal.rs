@@ -1,0 +1,443 @@
+//! The operation log (§4.2.2 "Logging").
+//!
+//! "An SSC uses an operation log to persist changes to the sparse hash map.
+//! A log record consists of a monotonically increasing log sequence number,
+//! the logical and physical block addresses, and an identifier indicating
+//! whether this is a page-level or block-level mapping."
+//!
+//! Records are appended to a device-memory buffer and become durable when
+//! flushed to flash — synchronously (for `write-dirty`/`evict`, using the
+//! atomic-write primitive of Ouyang et al. so multi-record groups land
+//! all-or-nothing) or by asynchronous group commit (for `write-clean`/
+//! `clean`). A crash discards the buffer; recovery replays flushed records.
+
+use flashsim::FlashTiming;
+use simkit::Duration;
+
+/// Which mapping level a record touches (kept explicit, as in the paper's
+/// record format, so replay needs no guessing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapLevel {
+    /// Page-granularity (log-block) mapping.
+    Page,
+    /// Erase-block-granularity (data-block) mapping.
+    Block,
+}
+
+/// A mapping-change record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Insert/update a page-level mapping.
+    InsertPage {
+        /// Disk address.
+        lba: u64,
+        /// Physical page.
+        ppn: u64,
+        /// Whether the cached data is dirty.
+        dirty: bool,
+    },
+    /// Remove a page-level mapping.
+    RemovePage {
+        /// Disk address.
+        lba: u64,
+    },
+    /// Insert/update a block-level mapping with its bitmaps.
+    InsertBlock {
+        /// Logical block number (LBA / pages-per-block).
+        lbn: u64,
+        /// Physical erase block.
+        pbn: u64,
+        /// Valid-page bitmap.
+        valid: u64,
+        /// Dirty-page bitmap.
+        dirty: u64,
+    },
+    /// Remove a block-level mapping.
+    RemoveBlock {
+        /// Logical block number.
+        lbn: u64,
+    },
+    /// Invalidate one page within a block-level mapping.
+    MaskBlockPage {
+        /// Disk address of the masked page.
+        lba: u64,
+    },
+    /// Mark a cached page clean (asynchronous; may be lost on crash —
+    /// "after a crash cleaned blocks may return to their dirty state").
+    SetClean {
+        /// Disk address.
+        lba: u64,
+    },
+}
+
+impl LogRecord {
+    /// Which level the record applies to.
+    pub fn level(&self) -> MapLevel {
+        match self {
+            LogRecord::InsertPage { .. }
+            | LogRecord::RemovePage { .. }
+            | LogRecord::SetClean { .. } => MapLevel::Page,
+            LogRecord::InsertBlock { .. }
+            | LogRecord::RemoveBlock { .. }
+            | LogRecord::MaskBlockPage { .. } => MapLevel::Block,
+        }
+    }
+}
+
+/// Serialized size of one record: LSN (8) + type tag (1) + addresses and
+/// bitmaps (up to 32), padded for alignment.
+pub const RECORD_BYTES: u64 = 40;
+
+/// Cumulative WAL statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalCounters {
+    /// Synchronous + group-commit flushes performed.
+    pub flushes: u64,
+    /// Records made durable.
+    pub records_flushed: u64,
+    /// Flash pages consumed by flushes.
+    pub pages_written: u64,
+}
+
+/// The write-ahead operation log.
+///
+/// Buffered records live structurally in device RAM; [`Wal::flush`]
+/// serializes them through [`crate::codec`] into the durable byte stream a
+/// real device would write, and recovery *decodes those bytes* — so the
+/// wire format is exercised on every run, and a torn tail (see
+/// [`Wal::crash_torn`]) is detected by CRC rather than assumed away.
+#[derive(Debug, Clone)]
+pub struct Wal {
+    buffer: Vec<(u64, LogRecord)>,
+    /// Durable encoded frames, exactly as flushed.
+    durable: Vec<u8>,
+    /// `(lsn, byte offset of the record's first frame)` per durable record.
+    index: Vec<(u64, usize)>,
+    /// Bytes trimmed off the front by checkpoint truncation (offsets in
+    /// `index` are absolute since log creation).
+    trimmed: usize,
+    /// Bytes written by the most recent flush — the only bytes a torn
+    /// (mid-flush) power failure can destroy.
+    last_flush_bytes: usize,
+    next_lsn: u64,
+    timing: FlashTiming,
+    page_size: usize,
+    counters: WalCounters,
+}
+
+impl Wal {
+    /// Creates an empty log for a device with the given timing and page
+    /// size.
+    pub fn new(timing: FlashTiming, page_size: usize) -> Self {
+        Wal {
+            buffer: Vec::new(),
+            durable: Vec::new(),
+            index: Vec::new(),
+            trimmed: 0,
+            last_flush_bytes: 0,
+            next_lsn: 1,
+            timing,
+            page_size,
+            counters: WalCounters::default(),
+        }
+    }
+
+    /// Appends a record to the in-memory buffer, returning its LSN.
+    pub fn append(&mut self, record: LogRecord) -> u64 {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.buffer.push((lsn, record));
+        lsn
+    }
+
+    /// Records currently buffered (volatile).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The most recently durable LSN (0 if none).
+    pub fn durable_lsn(&self) -> u64 {
+        self.index.last().map(|(lsn, _)| *lsn).unwrap_or(0)
+    }
+
+    /// Flushes every buffered record to flash as one atomic append,
+    /// returning the simulated cost. A no-op costing nothing when the
+    /// buffer is empty.
+    pub fn flush(&mut self) -> Duration {
+        if self.buffer.is_empty() {
+            return Duration::ZERO;
+        }
+        let start_len = self.durable.len();
+        let records = self.buffer.len() as u64;
+        for (lsn, record) in self.buffer.drain(..) {
+            self.index.push((lsn, self.trimmed + self.durable.len()));
+            for frame in crate::codec::encode_record(lsn, &record) {
+                self.durable.extend_from_slice(&frame);
+            }
+        }
+        let bytes = (self.durable.len() - start_len) as u64;
+        self.last_flush_bytes = bytes as usize;
+        let pages = bytes.div_ceil(self.page_size as u64);
+        self.counters.flushes += 1;
+        self.counters.records_flushed += records;
+        self.counters.pages_written += pages;
+        self.timing.metadata_cost() + self.timing.write_cost() * pages
+    }
+
+    fn offset_after(&self, lsn: u64) -> usize {
+        let pos = self.index.partition_point(|(l, _)| *l <= lsn);
+        match self.index.get(pos) {
+            Some(&(_, offset)) => offset - self.trimmed,
+            None => self.durable.len(),
+        }
+    }
+
+    /// Durable records with LSN strictly greater than `lsn`, in order,
+    /// decoded from the durable byte stream. Decoding stops silently at a
+    /// torn tail — exactly what roll-forward recovery wants.
+    pub fn records_since(&self, lsn: u64) -> Vec<(u64, LogRecord)> {
+        let start = self.offset_after(lsn);
+        let (records, _end) = crate::codec::decode_records(&self.durable[start..]);
+        records
+    }
+
+    /// Durable log size in bytes past `lsn` (drives the checkpoint policy
+    /// and prices log replay at recovery).
+    pub fn bytes_since(&self, lsn: u64) -> u64 {
+        (self.durable.len() - self.offset_after(lsn)) as u64
+    }
+
+    /// Drops durable records at or before `lsn` (the checkpoint has
+    /// superseded them).
+    pub fn truncate_through(&mut self, lsn: u64) {
+        let cut = self.offset_after(lsn);
+        self.durable.drain(..cut);
+        self.trimmed += cut;
+        let keep = self.index.partition_point(|(l, _)| *l <= lsn);
+        self.index.drain(..keep);
+    }
+
+    /// Simulates a power failure: every buffered (unflushed) record is lost.
+    /// Returns how many were dropped.
+    pub fn crash(&mut self) -> usize {
+        let lost = self.buffer.len();
+        self.buffer.clear();
+        lost
+    }
+
+    /// Simulates a power failure during a *non-atomic* final flush: the
+    /// buffer is lost and up to `lose_tail_bytes` of the durable stream
+    /// vanish mid-frame. The loss is capped at the size of the most recent
+    /// flush — power dying mid-flush cannot destroy earlier flushes, whose
+    /// completion already gated any subsequent erase. Recovery must stop
+    /// cleanly at the torn tail.
+    pub fn crash_torn(&mut self, lose_tail_bytes: usize) -> usize {
+        let lose_tail_bytes = lose_tail_bytes.min(self.last_flush_bytes);
+        self.last_flush_bytes = 0;
+        let lost = self.crash();
+        let keep = self.durable.len().saturating_sub(lose_tail_bytes);
+        self.durable.truncate(keep);
+        // Keep only records whose encoding lies entirely below the cut: a
+        // record ends where the next one starts (or where the stream ended).
+        let absolute_cut = self.trimmed + keep;
+        let mut keep_records = self.index.len();
+        while keep_records > 0 {
+            let end = self
+                .index
+                .get(keep_records)
+                .map(|&(_, offset)| offset)
+                .unwrap_or(self.trimmed + self.durable.len() + lose_tail_bytes);
+            if end <= absolute_cut {
+                break;
+            }
+            keep_records -= 1;
+        }
+        self.index.truncate(keep_records);
+        // Rewind the write pointer past the torn partial frame, as recovery
+        // does on a real log: subsequent appends start at a record boundary.
+        let rewind_to = self
+            .index
+            .last()
+            .map(|&(_, offset)| offset - self.trimmed)
+            .map(|start| {
+                // The last intact record ends where decoding says it does.
+                let (records, _) = crate::codec::decode_records(&self.durable[start..]);
+                debug_assert_eq!(records.len(), 1);
+                start
+                    + records
+                        .first()
+                        .map(|(_, r)| {
+                            crate::codec::encode_record(0, r).len() * RECORD_BYTES as usize
+                        })
+                        .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        self.durable.truncate(rewind_to);
+        lost
+    }
+
+    /// Cumulative statistics.
+    pub fn counters(&self) -> WalCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wal() -> Wal {
+        Wal::new(FlashTiming::paper_default(), 4096)
+    }
+
+    #[test]
+    fn append_assigns_increasing_lsns() {
+        let mut w = wal();
+        let a = w.append(LogRecord::RemovePage { lba: 1 });
+        let b = w.append(LogRecord::SetClean { lba: 2 });
+        assert!(b > a);
+        assert_eq!(w.buffered(), 2);
+        assert_eq!(w.durable_lsn(), 0);
+    }
+
+    #[test]
+    fn flush_makes_records_durable_and_costs_pages() {
+        let mut w = wal();
+        for i in 0..200 {
+            w.append(LogRecord::InsertPage {
+                lba: i,
+                ppn: i,
+                dirty: false,
+            });
+        }
+        let cost = w.flush();
+        // 200 * 40 = 8000 bytes = 2 pages.
+        assert_eq!(w.counters().pages_written, 2);
+        assert_eq!(cost.as_micros(), 10 + 2 * 97);
+        assert_eq!(w.buffered(), 0);
+        assert_eq!(w.durable_lsn(), 200);
+        assert_eq!(w.records_since(0).len(), 200);
+        assert_eq!(w.records_since(150).len(), 50);
+        // Decoded contents round-trip through the wire format.
+        let (lsn, record) = w.records_since(150)[0];
+        assert_eq!(lsn, 151);
+        assert_eq!(
+            record,
+            LogRecord::InsertPage {
+                lba: 150,
+                ppn: 150,
+                dirty: false
+            }
+        );
+        // Empty flush is free.
+        assert_eq!(w.flush(), Duration::ZERO);
+        assert_eq!(w.counters().flushes, 1);
+    }
+
+    #[test]
+    fn crash_drops_only_buffered() {
+        let mut w = wal();
+        w.append(LogRecord::RemoveBlock { lbn: 1 });
+        w.flush();
+        w.append(LogRecord::RemoveBlock { lbn: 2 });
+        assert_eq!(w.crash(), 1);
+        assert_eq!(w.buffered(), 0);
+        let records = w.records_since(0);
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0].1, LogRecord::RemoveBlock { lbn: 1 }));
+    }
+
+    #[test]
+    fn truncate_through_drops_prefix() {
+        let mut w = wal();
+        for i in 0..10 {
+            w.append(LogRecord::SetClean { lba: i });
+        }
+        w.flush();
+        assert_eq!(w.bytes_since(0), 10 * RECORD_BYTES);
+        w.truncate_through(4);
+        assert_eq!(w.records_since(0).len(), 6);
+        assert_eq!(w.bytes_since(0), 6 * RECORD_BYTES);
+        // LSNs keep increasing after truncation.
+        let lsn = w.append(LogRecord::SetClean { lba: 99 });
+        assert_eq!(lsn, 11);
+    }
+
+    #[test]
+    fn two_frame_records_account_double() {
+        let mut w = wal();
+        w.append(LogRecord::InsertBlock {
+            lbn: 1,
+            pbn: 2,
+            valid: 3,
+            dirty: 1,
+        });
+        w.flush();
+        assert_eq!(w.bytes_since(0), 2 * RECORD_BYTES);
+        assert_eq!(w.records_since(0).len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_tail() {
+        let mut w = wal();
+        for i in 0..5 {
+            w.append(LogRecord::SetClean { lba: i });
+        }
+        w.flush();
+        // Tear half a frame off the end: the last record is unreadable,
+        // the first four decode.
+        w.crash_torn(RECORD_BYTES as usize / 2);
+        let records = w.records_since(0);
+        assert_eq!(records.len(), 4);
+        assert_eq!(w.durable_lsn(), 4, "index agrees with the torn stream");
+        // The log remains appendable after the torn crash.
+        w.append(LogRecord::SetClean { lba: 100 });
+        w.flush();
+        assert_eq!(w.records_since(0).len(), 5);
+    }
+
+    #[test]
+    fn torn_insert_block_pair_is_dropped_whole() {
+        let mut w = wal();
+        w.append(LogRecord::SetClean { lba: 1 });
+        w.append(LogRecord::InsertBlock {
+            lbn: 9,
+            pbn: 8,
+            valid: 7,
+            dirty: 6,
+        });
+        w.flush();
+        // Lose the second half of the pair: the whole InsertBlock vanishes.
+        w.crash_torn(RECORD_BYTES as usize);
+        let records = w.records_since(0);
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0].1, LogRecord::SetClean { lba: 1 }));
+    }
+
+    #[test]
+    fn record_levels() {
+        assert_eq!(
+            LogRecord::InsertPage {
+                lba: 0,
+                ppn: 0,
+                dirty: true
+            }
+            .level(),
+            MapLevel::Page
+        );
+        assert_eq!(LogRecord::RemovePage { lba: 0 }.level(), MapLevel::Page);
+        assert_eq!(LogRecord::SetClean { lba: 0 }.level(), MapLevel::Page);
+        assert_eq!(
+            LogRecord::InsertBlock {
+                lbn: 0,
+                pbn: 0,
+                valid: 0,
+                dirty: 0
+            }
+            .level(),
+            MapLevel::Block
+        );
+        assert_eq!(LogRecord::RemoveBlock { lbn: 0 }.level(), MapLevel::Block);
+        assert_eq!(LogRecord::MaskBlockPage { lba: 0 }.level(), MapLevel::Block);
+    }
+}

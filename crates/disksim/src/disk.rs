@@ -1,0 +1,293 @@
+//! The simulated disk device.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use simkit::Duration;
+
+use crate::model::DiskConfig;
+use crate::Result;
+
+/// Errors returned by disk operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskError {
+    /// Block address beyond the disk capacity.
+    LbaOutOfRange(u64),
+    /// Data buffer is not exactly one 4 KB block.
+    BadBlockSize {
+        /// Bytes supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::LbaOutOfRange(lba) => write!(f, "disk block {lba} out of range"),
+            DiskError::BadBlockSize { got } => {
+                write!(f, "bad block size: got {got} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Whether the disk stores block payloads (mirrors
+/// `flashsim::DataMode` for the disk tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskDataMode {
+    /// Keep payloads; reads return what was written.
+    Store,
+    /// Drop payloads; reads return deterministic synthetic bytes.
+    Discard,
+}
+
+/// Operation counters for the disk tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCounters {
+    /// Blocks read.
+    pub reads: u64,
+    /// Blocks written.
+    pub writes: u64,
+    /// Accesses that continued the previous transfer (no positioning cost).
+    pub sequential_hits: u64,
+}
+
+/// A simulated disk with positional timing.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    config: DiskConfig,
+    mode: DiskDataMode,
+    /// Position after the last transfer: the block that would stream next.
+    head: Option<u64>,
+    data: HashMap<u64, Box<[u8]>>,
+    /// Write version per block, for deterministic discard-mode reads.
+    versions: HashMap<u64, u64>,
+    counters: DiskCounters,
+}
+
+impl Disk {
+    /// Creates a disk; all blocks initially read as zeros.
+    pub fn new(config: DiskConfig, mode: DiskDataMode) -> Self {
+        Disk {
+            config,
+            mode,
+            head: None,
+            data: HashMap::new(),
+            versions: HashMap::new(),
+            counters: DiskCounters::default(),
+        }
+    }
+
+    /// Timing configuration.
+    pub fn config(&self) -> &DiskConfig {
+        &self.config
+    }
+
+    /// Operation counters.
+    pub fn counters(&self) -> DiskCounters {
+        self.counters
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.config.capacity_blocks
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+
+    fn check(&self, lba: u64) -> Result<()> {
+        if lba < self.config.capacity_blocks {
+            Ok(())
+        } else {
+            Err(DiskError::LbaOutOfRange(lba))
+        }
+    }
+
+    /// Positioning + transfer cost of accessing `lba`, updating the head.
+    fn access_cost(&mut self, lba: u64) -> Duration {
+        let sequential = self.head == Some(lba);
+        self.head = Some(lba + 1);
+        if sequential {
+            self.counters.sequential_hits += 1;
+            self.config.sequential_cost()
+        } else {
+            self.config.random_cost()
+        }
+    }
+
+    fn fake_data(lba: u64, version: u64, block_size: usize) -> Vec<u8> {
+        let mut seed = lba.rotate_left(32) ^ version;
+        let mut out = Vec::with_capacity(block_size);
+        while out.len() < block_size {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let take = (block_size - out.len()).min(8);
+            out.extend_from_slice(&z.to_le_bytes()[..take]);
+        }
+        out
+    }
+
+    /// Reads one block. Unwritten blocks return zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::LbaOutOfRange`] for bad addresses.
+    pub fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+        self.check(lba)?;
+        let cost = self.access_cost(lba);
+        self.counters.reads += 1;
+        let block_size = self.config.block_size;
+        let data = match self.mode {
+            DiskDataMode::Store => self
+                .data
+                .get(&lba)
+                .map(|d| d.to_vec())
+                .unwrap_or_else(|| vec![0; block_size]),
+            DiskDataMode::Discard => match self.versions.get(&lba) {
+                Some(&v) => Self::fake_data(lba, v, block_size),
+                None => vec![0; block_size],
+            },
+        };
+        Ok((data, cost))
+    }
+
+    /// Writes one block.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::LbaOutOfRange`] / [`DiskError::BadBlockSize`].
+    pub fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {
+        self.check(lba)?;
+        if data.len() != self.config.block_size {
+            return Err(DiskError::BadBlockSize { got: data.len() });
+        }
+        let cost = self.access_cost(lba);
+        self.counters.writes += 1;
+        match self.mode {
+            DiskDataMode::Store => {
+                self.data.insert(lba, data.to_vec().into_boxed_slice());
+            }
+            DiskDataMode::Discard => {
+                *self.versions.entry(lba).or_insert(0) += 1;
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Writes `blocks` contiguously starting at `lba` as one positioned run —
+    /// the operation the write-back cleaner's contiguity policy exploits.
+    ///
+    /// # Errors
+    ///
+    /// Errors of [`Disk::write`]; on error nothing past the failing block is
+    /// written.
+    pub fn write_run(&mut self, lba: u64, blocks: &[&[u8]]) -> Result<Duration> {
+        let mut total = Duration::ZERO;
+        for (i, block) in blocks.iter().enumerate() {
+            total += self.write(lba + i as u64, block)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> Disk {
+        Disk::new(DiskConfig::paper_default(), DiskDataMode::Store)
+    }
+
+    fn block(fill: u8) -> Vec<u8> {
+        vec![fill; 4096]
+    }
+
+    #[test]
+    fn read_your_write() {
+        let mut d = disk();
+        d.write(7, &block(0xEE)).unwrap();
+        assert_eq!(d.read(7).unwrap().0, block(0xEE));
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut d = disk();
+        assert!(d.read(123).unwrap().0.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let mut d = disk();
+        let c0 = d.write(10, &block(1)).unwrap();
+        let c1 = d.write(11, &block(2)).unwrap();
+        let c2 = d.write(50, &block(3)).unwrap();
+        assert_eq!(c0, d.config.random_cost());
+        assert_eq!(c1, d.config.sequential_cost());
+        assert_eq!(c2, d.config.random_cost());
+        assert_eq!(d.counters().sequential_hits, 1);
+        // Re-reading block 11 after writing 50: random again.
+        let (_, c3) = d.read(11).unwrap();
+        assert_eq!(c3, d.config.random_cost());
+        // Then 12 streams.
+        let (_, c4) = d.read(12).unwrap();
+        assert_eq!(c4, d.config.sequential_cost());
+    }
+
+    #[test]
+    fn write_run_costs_one_seek() {
+        let mut d = disk();
+        d.write(1000, &block(0)).unwrap(); // move the head away
+        let blocks = [block(1), block(2), block(3), block(4)];
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let cost = d.write_run(200, &refs).unwrap();
+        assert_eq!(cost, d.config.run_cost(4));
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(&d.read(200 + i as u64).unwrap().0, b);
+        }
+    }
+
+    #[test]
+    fn bounds_and_size_checks() {
+        let mut d = disk();
+        let cap = d.capacity_blocks();
+        assert_eq!(d.read(cap).unwrap_err(), DiskError::LbaOutOfRange(cap));
+        assert_eq!(
+            d.write(0, &[1, 2, 3]).unwrap_err(),
+            DiskError::BadBlockSize { got: 3 }
+        );
+    }
+
+    #[test]
+    fn discard_mode_versions_are_deterministic() {
+        let mut a = Disk::new(DiskConfig::paper_default(), DiskDataMode::Discard);
+        let mut b = Disk::new(DiskConfig::paper_default(), DiskDataMode::Discard);
+        for d in [&mut a, &mut b] {
+            d.write(5, &block(0)).unwrap();
+            d.write(5, &block(0)).unwrap();
+        }
+        assert_eq!(a.read(5).unwrap().0, b.read(5).unwrap().0);
+        // Unwritten blocks are zeros even in discard mode.
+        assert!(a.read(6).unwrap().0.iter().all(|&z| z == 0));
+        // A third write changes the content.
+        a.write(5, &block(0)).unwrap();
+        assert_ne!(a.read(5).unwrap().0, b.read(5).unwrap().0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut d = disk();
+        d.write(0, &block(1)).unwrap();
+        d.read(0).unwrap();
+        d.read(0).unwrap();
+        assert_eq!(d.counters().writes, 1);
+        assert_eq!(d.counters().reads, 2);
+    }
+}

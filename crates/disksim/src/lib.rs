@@ -1,0 +1,33 @@
+//! Disk-tier timing model.
+//!
+//! The backing store behind the flash cache. The paper's Table 1 puts disk
+//! access at 500–5000 µs and §2 sizes a typical system at "a 500 IOPS disk
+//! system"; this crate models a disk with positional state: an access that
+//! continues the previous transfer streams at sequential bandwidth, anything
+//! else pays a seek + rotational delay. That makes the cache manager's
+//! contiguous write-back cleaning (§4.4 — "the cache manager prioritizes
+//! cleaning of contiguous dirty blocks, which can be merged together for
+//! writing to disk") visible in simulated time, exactly the effect the
+//! policy exists for.
+//!
+//! # Examples
+//!
+//! ```
+//! use disksim::{Disk, DiskConfig, DiskDataMode};
+//!
+//! let mut disk = Disk::new(DiskConfig::paper_default(), DiskDataMode::Store);
+//! let page = vec![1u8; 4096];
+//! let w = disk.write(100, &page).unwrap();
+//! let (_, r) = disk.read(101).unwrap();
+//! assert!(w.as_micros() >= 1000, "random access pays a seek");
+//! assert!(r < w, "the next block streams sequentially");
+//! ```
+
+pub mod disk;
+pub mod model;
+
+pub use disk::{Disk, DiskCounters, DiskDataMode, DiskError};
+pub use model::DiskConfig;
+
+/// Result alias for disk operations.
+pub type Result<T> = std::result::Result<T, DiskError>;

@@ -1,0 +1,99 @@
+//! Disk timing parameters.
+
+use simkit::Duration;
+
+/// Timing configuration for the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskConfig {
+    /// Positioning cost (seek + rotational latency) for a non-sequential
+    /// access.
+    pub random_access: Duration,
+    /// Per-4KB-block transfer time once the head is positioned (sequential
+    /// streaming).
+    pub sequential_block: Duration,
+    /// Capacity in blocks (requests beyond this error).
+    pub capacity_blocks: u64,
+    /// Block size in bytes (4 KB for the paper's traces).
+    pub block_size: usize,
+}
+
+impl DiskConfig {
+    /// A nearline SATA disk matching the paper's assumptions: ~500 IOPS
+    /// random (2 ms positioning) and ~100 MB/s streaming (40 µs per 4 KB
+    /// block), with a large-enough address space for the trace workloads.
+    pub fn paper_default() -> Self {
+        DiskConfig {
+            random_access: Duration::from_micros(2_000),
+            sequential_block: Duration::from_micros(40),
+            // 1 TB of 4 KB blocks.
+            capacity_blocks: 1 << 28,
+            block_size: 4096,
+        }
+    }
+
+    /// A small-block variant for unit tests (matches the 512-byte pages of
+    /// `flashsim::FlashConfig::small_test`).
+    pub fn small_test() -> Self {
+        DiskConfig {
+            block_size: 512,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Cost of one block when it continues the previous transfer.
+    pub fn sequential_cost(&self) -> Duration {
+        self.sequential_block
+    }
+
+    /// Cost of one block at a random position.
+    pub fn random_cost(&self) -> Duration {
+        self.random_access + self.sequential_block
+    }
+
+    /// Cost of an `n`-block contiguous run starting at a random position.
+    pub fn run_cost(&self, n: u64) -> Duration {
+        if n == 0 {
+            Duration::ZERO
+        } else {
+            self.random_access + self.sequential_block * n
+        }
+    }
+
+    /// Steady-state random IOPS this configuration yields.
+    pub fn random_iops(&self) -> f64 {
+        1_000_000.0 / self.random_cost().as_micros() as f64
+    }
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_about_500_iops() {
+        let c = DiskConfig::paper_default();
+        let iops = c.random_iops();
+        assert!((450.0..550.0).contains(&iops), "iops {iops}");
+    }
+
+    #[test]
+    fn run_cost_amortizes_positioning() {
+        let c = DiskConfig::paper_default();
+        assert_eq!(c.run_cost(0), Duration::ZERO);
+        assert_eq!(c.run_cost(1), c.random_cost());
+        let per_block_64 = c.run_cost(64).as_micros() / 64;
+        assert!(per_block_64 < c.random_cost().as_micros() / 10);
+    }
+
+    #[test]
+    fn sequential_much_cheaper_than_random() {
+        let c = DiskConfig::paper_default();
+        assert!(c.sequential_cost().as_micros() * 10 < c.random_cost().as_micros());
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the disk model: content correctness under arbitrary
+//! op sequences and timing consistency of the positional model.
+
+use disksim::{Disk, DiskConfig, DiskDataMode};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn disk_is_an_ideal_block_store(
+        ops in proptest::collection::vec((0u64..256, any::<bool>(), any::<u8>()), 1..300),
+    ) {
+        let config = DiskConfig { capacity_blocks: 256, ..DiskConfig::paper_default() };
+        let mut disk = Disk::new(config, DiskDataMode::Store);
+        let mut shadow: HashMap<u64, u8> = HashMap::new();
+        for (lba, is_write, fill) in ops {
+            if is_write {
+                disk.write(lba, &vec![fill; 4096]).unwrap();
+                shadow.insert(lba, fill);
+            } else {
+                let (data, _) = disk.read(lba).unwrap();
+                match shadow.get(&lba) {
+                    Some(&f) => prop_assert_eq!(data, vec![f; 4096]),
+                    None => prop_assert!(data.iter().all(|&b| b == 0)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timing_is_positional(
+        lbas in proptest::collection::vec(0u64..1_000, 2..100),
+    ) {
+        let mut disk = Disk::new(DiskConfig::paper_default(), DiskDataMode::Discard);
+        let config = *disk.config();
+        let mut prev: Option<u64> = None;
+        for &lba in &lbas {
+            let (_, cost) = disk.read(lba).unwrap();
+            let expected = if prev == Some(lba.wrapping_sub(1)) {
+                config.sequential_cost()
+            } else {
+                config.random_cost()
+            };
+            prop_assert_eq!(cost, expected, "lba {} after {:?}", lba, prev);
+            prev = Some(lba);
+        }
+    }
+
+    #[test]
+    fn run_cost_equals_piecewise(n in 1u64..64) {
+        let config = DiskConfig::paper_default();
+        // One positioned run == one random access + (n-1) sequential.
+        let expected = config.random_cost() + config.sequential_cost() * (n - 1);
+        prop_assert_eq!(config.run_cost(n), expected);
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-erase-block simulator state.
+
+use crate::oob::OobData;
+use crate::page::{Page, PageState};
+
+/// Aggregate state of an erase block, as visible to FTL/SSC policy code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockState {
+    /// Pages currently `Valid`.
+    pub valid_pages: u32,
+    /// Pages currently `Invalid`.
+    pub invalid_pages: u32,
+    /// Index of the next programmable page; equals `pages_per_block` when
+    /// the block is fully written.
+    pub write_ptr: u32,
+    /// Number of times the block has been erased.
+    pub erase_count: u64,
+}
+
+impl BlockState {
+    /// Pages still programmable in this block.
+    pub fn free_pages(&self, pages_per_block: u32) -> u32 {
+        pages_per_block - self.write_ptr
+    }
+
+    /// Returns `true` if no page has been programmed since the last erase.
+    pub fn is_empty(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// Returns `true` if every page has been programmed.
+    pub fn is_full(&self, pages_per_block: u32) -> bool {
+        self.write_ptr == pages_per_block
+    }
+}
+
+/// A simulated erase block: a vector of pages plus write-pointer and wear
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub(crate) pages: Vec<Page>,
+    pub(crate) write_ptr: u32,
+    pub(crate) valid_pages: u32,
+    pub(crate) invalid_pages: u32,
+    pub(crate) erase_count: u64,
+}
+
+impl Block {
+    pub(crate) fn new(pages_per_block: u32) -> Self {
+        Block {
+            pages: vec![Page::default(); pages_per_block as usize],
+            write_ptr: 0,
+            valid_pages: 0,
+            invalid_pages: 0,
+            erase_count: 0,
+        }
+    }
+
+    /// Snapshot of the aggregate state.
+    pub fn state(&self) -> BlockState {
+        BlockState {
+            valid_pages: self.valid_pages,
+            invalid_pages: self.invalid_pages,
+            write_ptr: self.write_ptr,
+            erase_count: self.erase_count,
+        }
+    }
+
+    pub(crate) fn erase(&mut self) {
+        for p in &mut self.pages {
+            p.erase();
+        }
+        self.write_ptr = 0;
+        self.valid_pages = 0;
+        self.invalid_pages = 0;
+        self.erase_count += 1;
+    }
+
+    pub(crate) fn program(&mut self, page: u32, data: Option<Box<[u8]>>, oob: OobData) {
+        let slot = &mut self.pages[page as usize];
+        debug_assert_eq!(slot.state, PageState::Free);
+        slot.state = PageState::Valid;
+        slot.oob = oob;
+        slot.data = data;
+        self.write_ptr = page + 1;
+        self.valid_pages += 1;
+    }
+
+    pub(crate) fn revalidate(&mut self, page: u32) -> bool {
+        let slot = &mut self.pages[page as usize];
+        if slot.state == PageState::Invalid {
+            slot.state = PageState::Valid;
+            self.valid_pages += 1;
+            self.invalid_pages -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn invalidate(&mut self, page: u32) -> bool {
+        let slot = &mut self.pages[page as usize];
+        if slot.state == PageState::Valid {
+            slot.state = PageState::Invalid;
+            // The cells keep their content until the block is erased; a
+            // crash-recovered mapping may legitimately read a superseded
+            // (but never torn) version.
+            self.valid_pages -= 1;
+            self.invalid_pages += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_block_is_empty() {
+        let b = Block::new(8);
+        let s = b.state();
+        assert!(s.is_empty());
+        assert!(!s.is_full(8));
+        assert_eq!(s.free_pages(8), 8);
+        assert_eq!(s.erase_count, 0);
+    }
+
+    #[test]
+    fn program_and_invalidate_track_counts() {
+        let mut b = Block::new(4);
+        b.program(0, None, OobData::for_lba(1, false, 1));
+        b.program(1, None, OobData::for_lba(2, false, 2));
+        assert_eq!(b.state().valid_pages, 2);
+        assert_eq!(b.state().write_ptr, 2);
+        assert!(b.invalidate(0));
+        assert_eq!(b.state().valid_pages, 1);
+        assert_eq!(b.state().invalid_pages, 1);
+        // Double-invalidate is a no-op.
+        assert!(!b.invalidate(0));
+        assert_eq!(b.state().invalid_pages, 1);
+    }
+
+    #[test]
+    fn erase_resets_and_counts_wear() {
+        let mut b = Block::new(4);
+        for i in 0..4 {
+            b.program(i, None, OobData::for_lba(i as u64, false, i as u64));
+        }
+        assert!(b.state().is_full(4));
+        b.erase();
+        let s = b.state();
+        assert!(s.is_empty());
+        assert_eq!(s.valid_pages, 0);
+        assert_eq!(s.invalid_pages, 0);
+        assert_eq!(s.erase_count, 1);
+        b.erase();
+        assert_eq!(b.state().erase_count, 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Device-wide operation and wear counters.
+//!
+//! These feed the paper's Table 5 (total erases, maximum wear difference,
+//! write amplification) and the performance accounting behind Figures 3
+//! and 6.
+
+/// Cumulative operation counts for a flash device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashCounters {
+    /// Pages read (data reads).
+    pub page_reads: u64,
+    /// Pages programmed.
+    pub page_writes: u64,
+    /// OOB-only reads (recovery scans).
+    pub oob_reads: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Pages invalidated by the layer above.
+    pub invalidations: u64,
+}
+
+impl FlashCounters {
+    /// Difference of two snapshots (`self` later than `earlier`).
+    pub fn since(&self, earlier: &FlashCounters) -> FlashCounters {
+        FlashCounters {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_writes: self.page_writes - earlier.page_writes,
+            oob_reads: self.oob_reads - earlier.oob_reads,
+            erases: self.erases - earlier.erases,
+            invalidations: self.invalidations - earlier.invalidations,
+        }
+    }
+}
+
+/// Wear statistics across all erase blocks of a device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WearStats {
+    /// Smallest per-block erase count.
+    pub min_erases: u64,
+    /// Largest per-block erase count.
+    pub max_erases: u64,
+    /// Sum of all per-block erase counts.
+    pub total_erases: u64,
+}
+
+impl WearStats {
+    /// Computes wear statistics from per-block erase counts.
+    pub fn from_counts(counts: impl Iterator<Item = u64>) -> Self {
+        let mut stats = WearStats {
+            min_erases: u64::MAX,
+            max_erases: 0,
+            total_erases: 0,
+        };
+        let mut any = false;
+        for c in counts {
+            any = true;
+            stats.min_erases = stats.min_erases.min(c);
+            stats.max_erases = stats.max_erases.max(c);
+            stats.total_erases += c;
+        }
+        if !any {
+            stats.min_erases = 0;
+        }
+        stats
+    }
+
+    /// Maximum wear difference between any two blocks (Table 5's
+    /// "Wear Diff." column).
+    pub fn wear_difference(&self) -> u64 {
+        self.max_erases - self.min_erases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_since() {
+        let a = FlashCounters {
+            page_reads: 10,
+            page_writes: 5,
+            oob_reads: 1,
+            erases: 2,
+            invalidations: 3,
+        };
+        let b = FlashCounters {
+            page_reads: 25,
+            page_writes: 9,
+            oob_reads: 4,
+            erases: 2,
+            invalidations: 10,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.page_reads, 15);
+        assert_eq!(d.page_writes, 4);
+        assert_eq!(d.oob_reads, 3);
+        assert_eq!(d.erases, 0);
+        assert_eq!(d.invalidations, 7);
+    }
+
+    #[test]
+    fn wear_stats_from_counts() {
+        let s = WearStats::from_counts([3u64, 7, 5].into_iter());
+        assert_eq!(s.min_erases, 3);
+        assert_eq!(s.max_erases, 7);
+        assert_eq!(s.total_erases, 15);
+        assert_eq!(s.wear_difference(), 4);
+    }
+
+    #[test]
+    fn wear_stats_empty() {
+        let s = WearStats::from_counts(std::iter::empty());
+        assert_eq!(s.min_erases, 0);
+        assert_eq!(s.max_erases, 0);
+        assert_eq!(s.wear_difference(), 0);
+    }
+}

@@ -1,0 +1,706 @@
+//! The simulated flash device.
+
+use crate::addr::{Pbn, Ppn};
+use crate::block::{Block, BlockState};
+use crate::config::{FlashConfig, Geometry};
+use crate::counters::{FlashCounters, WearStats};
+use crate::error::FlashError;
+use crate::oob::OobData;
+use crate::page::PageState;
+use crate::timing::FlashTiming;
+use crate::Result;
+use simkit::Duration;
+
+/// Whether the device stores page payloads.
+///
+/// [`DataMode::Discard`] reproduces the paper's emulation technique for
+/// caches larger than host DRAM: "it stores the metadata of all cached blocks
+/// in memory but discards data on writes and returns fake data on reads,
+/// similar to David". Fake data is deterministic in the page's OOB sequence
+/// number, so replays are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Keep page payloads; reads return exactly what was programmed.
+    Store,
+    /// Drop page payloads; reads return deterministic synthetic bytes.
+    Discard,
+}
+
+/// A simulated NAND flash device.
+///
+/// See the [crate documentation](crate) for the model and an example.
+#[derive(Debug, Clone)]
+pub struct FlashDevice {
+    config: FlashConfig,
+    mode: DataMode,
+    blocks: Vec<Block>,
+    counters: FlashCounters,
+}
+
+impl FlashDevice {
+    /// Creates a device with every block erased.
+    pub fn new(config: FlashConfig, mode: DataMode) -> Self {
+        let total_blocks = config.geometry.total_blocks() as usize;
+        let ppb = config.geometry.pages_per_block();
+        FlashDevice {
+            config,
+            mode,
+            blocks: (0..total_blocks).map(|_| Block::new(ppb)).collect(),
+            counters: FlashCounters::default(),
+        }
+    }
+
+    /// Device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.config.geometry
+    }
+
+    /// Timing model.
+    pub fn timing(&self) -> &FlashTiming {
+        &self.config.timing
+    }
+
+    /// Data retention mode.
+    pub fn mode(&self) -> DataMode {
+        self.mode
+    }
+
+    /// Cumulative operation counters.
+    pub fn counters(&self) -> FlashCounters {
+        self.counters
+    }
+
+    /// Wear statistics over all erase blocks.
+    pub fn wear(&self) -> WearStats {
+        WearStats::from_counts(self.blocks.iter().map(|b| b.erase_count))
+    }
+
+    fn check_ppn(&self, ppn: Ppn) -> Result<()> {
+        if self.config.geometry.ppn_in_range(ppn) {
+            Ok(())
+        } else {
+            Err(FlashError::PpnOutOfRange(ppn))
+        }
+    }
+
+    fn check_pbn(&self, pbn: Pbn) -> Result<()> {
+        if self.config.geometry.pbn_in_range(pbn) {
+            Ok(())
+        } else {
+            Err(FlashError::PbnOutOfRange(pbn))
+        }
+    }
+
+    fn block(&self, pbn: Pbn) -> &Block {
+        &self.blocks[pbn.raw() as usize]
+    }
+
+    fn block_mut(&mut self, pbn: Pbn) -> &mut Block {
+        &mut self.blocks[pbn.raw() as usize]
+    }
+
+    /// Deterministic synthetic payload for discard-mode reads.
+    fn fake_data(&self, ppn: Ppn, oob: &OobData) -> Vec<u8> {
+        let mut seed = ppn.raw() ^ oob.seq.rotate_left(17) ^ oob.lba.unwrap_or(u64::MAX);
+        let mut out = Vec::with_capacity(self.config.geometry.page_size());
+        while out.len() < self.config.geometry.page_size() {
+            // SplitMix64 step, truncated to the page size.
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let take = (self.config.geometry.page_size() - out.len()).min(8);
+            out.extend_from_slice(&z.to_le_bytes()[..take]);
+        }
+        out
+    }
+
+    /// Reads a programmed page, returning its payload and the simulated cost.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ReadFree`] if the page has not been programmed since the
+    /// last erase; [`FlashError::PpnOutOfRange`] for bad addresses. Reading an
+    /// `Invalid` page succeeds — the cells still hold the superseded content
+    /// until the block is erased, and GC relies on reading pages it is about
+    /// to invalidate.
+    pub fn read_page(&mut self, ppn: Ppn) -> Result<(Vec<u8>, Duration)> {
+        self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        let pbn = g.block_of(ppn);
+        let idx = g.page_in_block(ppn) as usize;
+        let page = &self.block(pbn).pages[idx];
+        if page.state == PageState::Free {
+            return Err(FlashError::ReadFree(ppn));
+        }
+        let data = match (&page.data, self.mode) {
+            (Some(d), _) => d.to_vec(),
+            (None, DataMode::Discard) => {
+                let oob = page.oob;
+                self.fake_data(ppn, &oob)
+            }
+            // Unreachable in store mode (payloads persist until erase),
+            // kept for robustness.
+            (None, DataMode::Store) => vec![0; g.page_size()],
+        };
+        self.counters.page_reads += 1;
+        Ok((data, self.config.timing.read_cost()))
+    }
+
+    /// Reads a batch of programmed pages, exploiting plane parallelism:
+    /// cell reads on different planes overlap, while the shared bus
+    /// serializes transfers. Cost = control delay + max-per-plane sum of
+    /// cell reads + one bus transfer per page. This is how merges and
+    /// garbage collection read their source pages on a real multi-plane
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unreadable page (same conditions as
+    /// [`FlashDevice::read_page`]); no cost is charged in that case.
+    pub fn read_pages(&mut self, ppns: &[Ppn]) -> Result<(Vec<Vec<u8>>, Duration)> {
+        if ppns.is_empty() {
+            return Ok((Vec::new(), Duration::ZERO));
+        }
+        let g = *self.geometry();
+        // Validate everything first so errors charge nothing.
+        for &ppn in ppns {
+            self.check_ppn(ppn)?;
+            let page = &self.block(g.block_of(ppn)).pages[g.page_in_block(ppn) as usize];
+            if page.state == PageState::Free {
+                return Err(FlashError::ReadFree(ppn));
+            }
+        }
+        let mut per_plane_reads = vec![0u64; g.planes() as usize];
+        let mut out = Vec::with_capacity(ppns.len());
+        for &ppn in ppns {
+            let plane = g.plane_of(g.block_of(ppn)) as usize;
+            per_plane_reads[plane] += 1;
+            let pbn = g.block_of(ppn);
+            let idx = g.page_in_block(ppn) as usize;
+            let page = &self.block(pbn).pages[idx];
+            let data = match (&page.data, self.mode) {
+                (Some(d), _) => d.to_vec(),
+                (None, DataMode::Discard) => {
+                    let oob = page.oob;
+                    self.fake_data(ppn, &oob)
+                }
+                (None, DataMode::Store) => vec![0; g.page_size()],
+            };
+            out.push(data);
+            self.counters.page_reads += 1;
+        }
+        let t = self.config.timing;
+        let slowest_plane = per_plane_reads.iter().copied().max().unwrap_or(0);
+        let cost = t.control + t.page_read * slowest_plane + t.bus_control * ppns.len() as u64;
+        Ok((out, cost))
+    }
+
+    /// Reads only the OOB metadata of a programmed page, charging the
+    /// (cheaper) OOB scan cost. Used by recovery scans.
+    ///
+    /// # Errors
+    ///
+    /// Same addressing/state errors as [`FlashDevice::read_page`].
+    pub fn read_oob(&mut self, ppn: Ppn) -> Result<(OobData, Duration)> {
+        let oob = self.peek_oob(ppn)?;
+        self.counters.oob_reads += 1;
+        Ok((oob, self.config.timing.oob_read_cost()))
+    }
+
+    /// Returns OOB metadata without charging simulated time.
+    ///
+    /// This models the FTL/SSC controller consulting state it already has in
+    /// device RAM (the simulator keeps OOB mirrored in memory, as real
+    /// controllers cache it for the blocks they manage).
+    ///
+    /// # Errors
+    ///
+    /// Same addressing/state errors as [`FlashDevice::read_page`].
+    pub fn peek_oob(&self, ppn: Ppn) -> Result<OobData> {
+        self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        let page = &self.block(g.block_of(ppn)).pages[g.page_in_block(ppn) as usize];
+        if page.state == PageState::Free {
+            return Err(FlashError::ReadFree(ppn));
+        }
+        Ok(page.oob)
+    }
+
+    /// Programs a page with data and OOB metadata, returning the simulated
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::ProgramNotFree`] if the page was already programmed.
+    /// * [`FlashError::ProgramOutOfOrder`] if an earlier page of the block is
+    ///   still free (NAND requires sequential in-block programming).
+    /// * [`FlashError::BadPageSize`] if `data` is not exactly one page.
+    pub fn program_page(&mut self, ppn: Ppn, data: &[u8], oob: OobData) -> Result<Duration> {
+        self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        if data.len() != g.page_size() {
+            return Err(FlashError::BadPageSize {
+                got: data.len(),
+                expected: g.page_size(),
+            });
+        }
+        let pbn = g.block_of(ppn);
+        let idx = g.page_in_block(ppn);
+        let mode = self.mode;
+        let block = self.block_mut(pbn);
+        if block.pages[idx as usize].state != PageState::Free {
+            return Err(FlashError::ProgramNotFree(ppn));
+        }
+        if idx != block.write_ptr {
+            return Err(FlashError::ProgramOutOfOrder {
+                ppn,
+                expected: block.write_ptr,
+            });
+        }
+        let payload = match mode {
+            DataMode::Store => Some(data.to_vec().into_boxed_slice()),
+            DataMode::Discard => None,
+        };
+        block.program(idx, payload, oob);
+        self.counters.page_writes += 1;
+        Ok(self.config.timing.write_cost())
+    }
+
+    /// Programs the next free page of `pbn` (the block's write pointer),
+    /// returning the page chosen and the cost. This is the natural primitive
+    /// for log-structured writing.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ProgramNotFree`] if the block is full, plus the errors of
+    /// [`FlashDevice::program_page`].
+    pub fn program_next(&mut self, pbn: Pbn, data: &[u8], oob: OobData) -> Result<(Ppn, Duration)> {
+        self.check_pbn(pbn)?;
+        let g = self.config.geometry;
+        let wp = self.block(pbn).write_ptr;
+        if wp >= g.pages_per_block() {
+            return Err(FlashError::ProgramNotFree(g.first_page(pbn)));
+        }
+        let ppn = Ppn(g.first_page(pbn).raw() + wp as u64);
+        let cost = self.program_page(ppn, data, oob)?;
+        Ok((ppn, cost))
+    }
+
+    /// Erases a block, freeing all its pages, and returns the cost.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::WornOut`] if the block reached the configured endurance
+    /// limit; [`FlashError::PbnOutOfRange`] for bad addresses.
+    pub fn erase_block(&mut self, pbn: Pbn) -> Result<Duration> {
+        self.check_pbn(pbn)?;
+        if let Some(limit) = self.config.endurance {
+            if self.block(pbn).erase_count >= limit {
+                return Err(FlashError::WornOut(pbn));
+            }
+        }
+        self.block_mut(pbn).erase();
+        self.counters.erases += 1;
+        Ok(self.config.timing.erase_cost())
+    }
+
+    /// Marks a valid page invalid (its content is superseded). This is a
+    /// controller-RAM metadata operation with no flash cost; idempotent on
+    /// already-invalid pages.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ReadFree`] if the page was never programmed;
+    /// [`FlashError::PpnOutOfRange`] for bad addresses.
+    pub fn invalidate_page(&mut self, ppn: Ppn) -> Result<()> {
+        self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        let pbn = g.block_of(ppn);
+        let idx = g.page_in_block(ppn);
+        let block = self.block_mut(pbn);
+        if block.pages[idx as usize].state == PageState::Free {
+            return Err(FlashError::ReadFree(ppn));
+        }
+        if block.invalidate(idx) {
+            self.counters.invalidations += 1;
+        }
+        Ok(())
+    }
+
+    /// Restores an `Invalid` page to `Valid` — the controller re-deriving
+    /// page validity from a recovered forward map (the cells were never
+    /// erased, so the content is intact). Idempotent on valid pages.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ReadFree`] if the page was never programmed;
+    /// [`FlashError::PpnOutOfRange`] for bad addresses.
+    pub fn revalidate_page(&mut self, ppn: Ppn) -> Result<()> {
+        self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        let pbn = g.block_of(ppn);
+        let idx = g.page_in_block(ppn);
+        let block = self.block_mut(pbn);
+        if block.pages[idx as usize].state == PageState::Free {
+            return Err(FlashError::ReadFree(ppn));
+        }
+        block.revalidate(idx);
+        Ok(())
+    }
+
+    /// Aggregate state of a block.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::PbnOutOfRange`] for bad addresses.
+    pub fn block_state(&self, pbn: Pbn) -> Result<BlockState> {
+        self.check_pbn(pbn)?;
+        Ok(self.block(pbn).state())
+    }
+
+    /// State of a single page.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::PpnOutOfRange`] for bad addresses.
+    pub fn page_state(&self, ppn: Ppn) -> Result<PageState> {
+        self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        Ok(self.block(g.block_of(ppn)).pages[g.page_in_block(ppn) as usize].state)
+    }
+
+    /// Returns `(ppn, oob)` for every valid page of `pbn`, in programming
+    /// order. A free policy peek used by garbage collection and eviction.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::PbnOutOfRange`] for bad addresses.
+    pub fn valid_pages_of(&self, pbn: Pbn) -> Result<Vec<(Ppn, OobData)>> {
+        self.check_pbn(pbn)?;
+        let g = self.config.geometry;
+        let block = self.block(pbn);
+        Ok(block
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.state == PageState::Valid)
+            .map(|(i, p)| (Ppn(g.first_page(pbn).raw() + i as u64), p.oob))
+            .collect())
+    }
+
+    /// Iterates the erase counts of every block (for wear-leveling policy).
+    pub fn erase_counts(&self) -> impl Iterator<Item = (Pbn, u64)> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (Pbn(i as u64), b.erase_count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> FlashDevice {
+        FlashDevice::new(FlashConfig::small_test(), DataMode::Store)
+    }
+
+    fn page_of(dev: &FlashDevice, fill: u8) -> Vec<u8> {
+        vec![fill; dev.geometry().page_size()]
+    }
+
+    #[test]
+    fn program_read_round_trip() {
+        let mut d = dev();
+        let ppn = d.geometry().ppn(0, 0, 0);
+        let data = page_of(&d, 0x5A);
+        let cost = d
+            .program_page(ppn, &data, OobData::for_lba(9, false, 1))
+            .unwrap();
+        assert_eq!(cost.as_micros(), 97);
+        let (read, rcost) = d.read_page(ppn).unwrap();
+        assert_eq!(read, data);
+        assert_eq!(rcost.as_micros(), 77);
+        assert_eq!(d.counters().page_writes, 1);
+        assert_eq!(d.counters().page_reads, 1);
+    }
+
+    #[test]
+    fn read_free_page_fails() {
+        let mut d = dev();
+        let ppn = d.geometry().ppn(0, 0, 0);
+        assert_eq!(d.read_page(ppn), Err(FlashError::ReadFree(ppn)));
+    }
+
+    #[test]
+    fn double_program_fails() {
+        let mut d = dev();
+        let ppn = d.geometry().ppn(0, 0, 0);
+        let data = page_of(&d, 1);
+        d.program_page(ppn, &data, OobData::default()).unwrap();
+        assert_eq!(
+            d.program_page(ppn, &data, OobData::default()),
+            Err(FlashError::ProgramNotFree(ppn))
+        );
+    }
+
+    #[test]
+    fn out_of_order_program_fails() {
+        let mut d = dev();
+        let ppn2 = d.geometry().ppn(0, 0, 2);
+        let data = page_of(&d, 1);
+        assert_eq!(
+            d.program_page(ppn2, &data, OobData::default()),
+            Err(FlashError::ProgramOutOfOrder {
+                ppn: ppn2,
+                expected: 0
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_page_size_fails() {
+        let mut d = dev();
+        let ppn = d.geometry().ppn(0, 0, 0);
+        assert_eq!(
+            d.program_page(ppn, &[0u8; 3], OobData::default()),
+            Err(FlashError::BadPageSize {
+                got: 3,
+                expected: d.geometry().page_size()
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_addresses_fail() {
+        let mut d = dev();
+        let bad_ppn = Ppn(d.geometry().total_pages());
+        let bad_pbn = Pbn(d.geometry().total_blocks());
+        assert_eq!(
+            d.read_page(bad_ppn),
+            Err(FlashError::PpnOutOfRange(bad_ppn))
+        );
+        assert_eq!(
+            d.erase_block(bad_pbn),
+            Err(FlashError::PbnOutOfRange(bad_pbn))
+        );
+        assert!(d.block_state(bad_pbn).is_err());
+        assert!(d.page_state(bad_ppn).is_err());
+        assert!(d.valid_pages_of(bad_pbn).is_err());
+        assert!(d.peek_oob(bad_ppn).is_err());
+    }
+
+    #[test]
+    fn program_next_appends_sequentially() {
+        let mut d = dev();
+        let pbn = d.geometry().pbn(1, 2);
+        let data = page_of(&d, 7);
+        let mut last = None;
+        for i in 0..d.geometry().pages_per_block() {
+            let (ppn, _) = d
+                .program_next(pbn, &data, OobData::for_lba(i as u64, false, 0))
+                .unwrap();
+            assert_eq!(d.geometry().page_in_block(ppn), i);
+            last = Some(ppn);
+        }
+        // Block is now full.
+        assert!(d.program_next(pbn, &data, OobData::default()).is_err());
+        assert!(d
+            .block_state(pbn)
+            .unwrap()
+            .is_full(d.geometry().pages_per_block()));
+        assert_eq!(d.geometry().block_of(last.unwrap()), pbn);
+    }
+
+    #[test]
+    fn erase_frees_pages_and_counts_wear() {
+        let mut d = dev();
+        let pbn = d.geometry().pbn(0, 1);
+        let data = page_of(&d, 3);
+        d.program_next(pbn, &data, OobData::default()).unwrap();
+        let cost = d.erase_block(pbn).unwrap();
+        assert_eq!(cost.as_micros(), 1010);
+        assert_eq!(d.block_state(pbn).unwrap().erase_count, 1);
+        assert_eq!(
+            d.page_state(d.geometry().first_page(pbn)).unwrap(),
+            PageState::Free
+        );
+        assert_eq!(d.counters().erases, 1);
+        // Programming works again after erase.
+        d.program_next(pbn, &data, OobData::default()).unwrap();
+    }
+
+    #[test]
+    fn invalidate_marks_pages_and_reads_still_work() {
+        let mut d = dev();
+        let pbn = d.geometry().pbn(0, 0);
+        let data = page_of(&d, 9);
+        let (ppn, _) = d
+            .program_next(pbn, &data, OobData::for_lba(5, true, 1))
+            .unwrap();
+        d.invalidate_page(ppn).unwrap();
+        assert_eq!(d.page_state(ppn).unwrap(), PageState::Invalid);
+        assert_eq!(d.counters().invalidations, 1);
+        // Idempotent.
+        d.invalidate_page(ppn).unwrap();
+        assert_eq!(d.counters().invalidations, 1);
+        // Reads of invalid pages still succeed (GC relies on this).
+        assert!(d.read_page(ppn).is_ok());
+        // Invalidating a free page is an error.
+        let free = Ppn(ppn.raw() + 1);
+        assert_eq!(d.invalidate_page(free), Err(FlashError::ReadFree(free)));
+    }
+
+    #[test]
+    fn valid_pages_of_reports_oob() {
+        let mut d = dev();
+        let pbn = d.geometry().pbn(1, 0);
+        let data = page_of(&d, 2);
+        let (p0, _) = d
+            .program_next(pbn, &data, OobData::for_lba(10, false, 1))
+            .unwrap();
+        let (p1, _) = d
+            .program_next(pbn, &data, OobData::for_lba(11, true, 2))
+            .unwrap();
+        d.invalidate_page(p0).unwrap();
+        let valid = d.valid_pages_of(pbn).unwrap();
+        assert_eq!(valid.len(), 1);
+        assert_eq!(valid[0].0, p1);
+        assert_eq!(valid[0].1.lba, Some(11));
+        assert!(valid[0].1.dirty);
+    }
+
+    #[test]
+    fn discard_mode_returns_deterministic_fake_data() {
+        let config = FlashConfig::small_test();
+        let mut d1 = FlashDevice::new(config, DataMode::Discard);
+        let mut d2 = FlashDevice::new(config, DataMode::Discard);
+        let ppn = d1.geometry().ppn(0, 0, 0);
+        let data = vec![0xFF; d1.geometry().page_size()];
+        d1.program_page(ppn, &data, OobData::for_lba(1, false, 7))
+            .unwrap();
+        d2.program_page(ppn, &data, OobData::for_lba(1, false, 7))
+            .unwrap();
+        let (r1, _) = d1.read_page(ppn).unwrap();
+        let (r2, _) = d2.read_page(ppn).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1.len(), d1.geometry().page_size());
+        // Fake data differs from what was written (payload was dropped).
+        assert_ne!(r1, data);
+    }
+
+    #[test]
+    fn oob_read_charges_scan_cost() {
+        let mut d = dev();
+        let ppn = d.geometry().ppn(0, 0, 0);
+        let data = page_of(&d, 1);
+        d.program_page(ppn, &data, OobData::for_lba(3, true, 9))
+            .unwrap();
+        let (oob, cost) = d.read_oob(ppn).unwrap();
+        assert_eq!(oob.lba, Some(3));
+        assert_eq!(cost.as_micros(), 75);
+        assert_eq!(d.counters().oob_reads, 1);
+        // peek_oob is free and uncounted.
+        let peek = d.peek_oob(ppn).unwrap();
+        assert_eq!(peek, oob);
+        assert_eq!(d.counters().oob_reads, 1);
+    }
+
+    #[test]
+    fn endurance_limit_blocks_erases() {
+        let config = FlashConfig::small_test().with_endurance(2);
+        let mut d = FlashDevice::new(config, DataMode::Store);
+        let pbn = d.geometry().pbn(0, 0);
+        d.erase_block(pbn).unwrap();
+        d.erase_block(pbn).unwrap();
+        assert_eq!(d.erase_block(pbn), Err(FlashError::WornOut(pbn)));
+        assert_eq!(d.wear().max_erases, 2);
+    }
+
+    #[test]
+    fn wear_stats_and_erase_counts() {
+        let mut d = dev();
+        let pbn0 = d.geometry().pbn(0, 0);
+        d.erase_block(pbn0).unwrap();
+        d.erase_block(pbn0).unwrap();
+        d.erase_block(d.geometry().pbn(1, 1)).unwrap();
+        let w = d.wear();
+        assert_eq!(w.max_erases, 2);
+        assert_eq!(w.min_erases, 0);
+        assert_eq!(w.total_erases, 3);
+        assert_eq!(w.wear_difference(), 2);
+        let counts: Vec<_> = d.erase_counts().filter(|(_, c)| *c > 0).collect();
+        assert_eq!(counts.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    fn dev_with_pages() -> (FlashDevice, Vec<Ppn>, Vec<Ppn>) {
+        let mut d = FlashDevice::new(FlashConfig::small_test(), DataMode::Store);
+        let g = *d.geometry();
+        let data = vec![1u8; g.page_size()];
+        // Four pages on plane 0, four on plane 1.
+        let mut same_plane = Vec::new();
+        let mut cross_plane = Vec::new();
+        for i in 0..4u32 {
+            let (p0, _) = d
+                .program_next(g.pbn(0, 0), &data, OobData::for_lba(i as u64, false, 1))
+                .unwrap();
+            let (p1, _) = d
+                .program_next(
+                    g.pbn(1, 0),
+                    &data,
+                    OobData::for_lba(100 + i as u64, false, 1),
+                )
+                .unwrap();
+            same_plane.push(p0);
+            cross_plane.push(if i % 2 == 0 { p0 } else { p1 });
+        }
+        (d, same_plane, cross_plane)
+    }
+
+    #[test]
+    fn cross_plane_batches_are_cheaper() {
+        let (mut d, same, cross) = dev_with_pages();
+        let (_, same_cost) = d.read_pages(&same).unwrap();
+        let (_, cross_cost) = d.read_pages(&cross).unwrap();
+        // Same plane: 4 serialized cell reads. Cross plane: 2 per plane
+        // overlap.
+        assert!(cross_cost < same_cost, "{cross_cost} !< {same_cost}");
+        assert_eq!(same_cost.as_micros(), 10 + 4 * 65 + 4 * 2);
+        assert_eq!(cross_cost.as_micros(), 10 + 2 * 65 + 4 * 2);
+    }
+
+    #[test]
+    fn batch_returns_data_in_order() {
+        let (mut d, same, _) = dev_with_pages();
+        let (data, _) = d.read_pages(&same).unwrap();
+        assert_eq!(data.len(), 4);
+        assert!(data.iter().all(|p| p.iter().all(|&b| b == 1)));
+        // Counters counted each page.
+        assert_eq!(d.counters().page_reads, 4);
+    }
+
+    #[test]
+    fn batch_errors_charge_nothing() {
+        let (mut d, mut same, _) = dev_with_pages();
+        let reads_before = d.counters().page_reads;
+        same.push(Ppn(d.geometry().total_pages() - 1)); // free page
+        let err = d.read_pages(&same).unwrap_err();
+        assert!(matches!(err, FlashError::ReadFree(_)));
+        assert_eq!(
+            d.counters().page_reads,
+            reads_before,
+            "failed batch reads nothing"
+        );
+        // Empty batch is free.
+        let (empty, cost) = d.read_pages(&[]).unwrap();
+        assert!(empty.is_empty());
+        assert!(cost.is_zero());
+    }
+}

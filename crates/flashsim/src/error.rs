@@ -1,0 +1,103 @@
+//! Flash operation errors.
+
+use crate::addr::{Pbn, Ppn};
+use std::fmt;
+
+/// Errors returned by [`crate::FlashDevice`] operations.
+///
+/// These represent violations of the NAND programming model or addressing
+/// mistakes by the layer above; a correct FTL/SSC never triggers them on a
+/// healthy device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashError {
+    /// The physical page number does not exist in this device geometry.
+    PpnOutOfRange(Ppn),
+    /// The physical block number does not exist in this device geometry.
+    PbnOutOfRange(Pbn),
+    /// Attempted to program a page that is not in the `Free` state.
+    ProgramNotFree(Ppn),
+    /// Attempted to program page `page` of a block whose next free slot is
+    /// `expected`; NAND requires in-order programming within a block.
+    ProgramOutOfOrder {
+        /// The page that was requested.
+        ppn: Ppn,
+        /// The in-block page index that must be programmed next.
+        expected: u32,
+    },
+    /// Attempted to read a page that has never been programmed since the last
+    /// erase of its block.
+    ReadFree(Ppn),
+    /// The supplied data buffer does not match the device page size.
+    BadPageSize {
+        /// Bytes supplied by the caller.
+        got: usize,
+        /// The device page size.
+        expected: usize,
+    },
+    /// The block has reached its erase endurance limit.
+    WornOut(Pbn),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::PpnOutOfRange(ppn) => write!(f, "physical page {ppn:?} out of range"),
+            FlashError::PbnOutOfRange(pbn) => write!(f, "physical block {pbn:?} out of range"),
+            FlashError::ProgramNotFree(ppn) => {
+                write!(
+                    f,
+                    "program of non-free page {ppn:?} (erase-before-write violated)"
+                )
+            }
+            FlashError::ProgramOutOfOrder { ppn, expected } => write!(
+                f,
+                "out-of-order program of {ppn:?}; next programmable page index is {expected}"
+            ),
+            FlashError::ReadFree(ppn) => write!(f, "read of erased page {ppn:?}"),
+            FlashError::BadPageSize { got, expected } => {
+                write!(
+                    f,
+                    "bad page buffer size: got {got} bytes, device page is {expected}"
+                )
+            }
+            FlashError::WornOut(pbn) => write!(f, "block {pbn:?} exceeded erase endurance"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = FlashError::ProgramOutOfOrder {
+            ppn: Ppn(12),
+            expected: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("out-of-order"));
+        assert!(s.contains('3'));
+        assert!(FlashError::BadPageSize {
+            got: 100,
+            expected: 4096
+        }
+        .to_string()
+        .contains("4096"));
+        assert!(FlashError::ReadFree(Ppn(1)).to_string().contains("erased"));
+        assert!(FlashError::WornOut(Pbn(2))
+            .to_string()
+            .contains("endurance"));
+        assert!(FlashError::PpnOutOfRange(Ppn(9))
+            .to_string()
+            .contains("out of range"));
+        assert!(FlashError::PbnOutOfRange(Pbn(9))
+            .to_string()
+            .contains("out of range"));
+        assert!(FlashError::ProgramNotFree(Ppn(0))
+            .to_string()
+            .contains("erase-before-write"));
+    }
+}

@@ -1,0 +1,67 @@
+//! NAND flash device simulator.
+//!
+//! This crate is the reproduction of the FlashSim substrate the FlashTier
+//! paper builds on (Kim et al., *FlashSim: A simulator for NAND flash-based
+//! solid-state drives*). It models the *mechanisms* of a raw NAND device —
+//! geometry, timing, page states, out-of-band (OOB) metadata, erase-before-
+//! write, sequential in-block programming, and wear accounting — and leaves
+//! all *policy* (address translation, garbage collection, eviction) to the
+//! FTL and SSC crates layered on top.
+//!
+//! # Model
+//!
+//! A device is a set of **planes**; each plane holds **erase blocks**; each
+//! block holds **pages** (4 KB by default). The three NAND constraints the
+//! simulator enforces are:
+//!
+//! 1. a page must be erased (`Free`) before it can be programmed,
+//! 2. pages within a block must be programmed in sequential order, and
+//! 3. erasing operates on whole blocks only.
+//!
+//! Every operation returns its simulated cost as a [`simkit::Duration`],
+//! computed from the [`timing`] model with the Intel-300-series parameters of
+//! the paper's Table 2 as defaults.
+//!
+//! # Data modes
+//!
+//! Like the paper's SSC emulator (which discards data like the David
+//! emulator), the device can run in [`DataMode::Discard`] where page payloads
+//! are dropped and reads return deterministic synthetic bytes. Correctness
+//! tests use [`DataMode::Store`].
+//!
+//! # Examples
+//!
+//! ```
+//! use flashsim::{DataMode, FlashConfig, FlashDevice, OobData};
+//!
+//! let config = FlashConfig::small_test();
+//! let mut dev = FlashDevice::new(config, DataMode::Store);
+//! let ppn = dev.geometry().ppn(0, 0, 0);
+//! let data = vec![0xAB; dev.geometry().page_size()];
+//! dev.program_page(ppn, &data, OobData::for_lba(42, false, 1)).unwrap();
+//! let (read, _cost) = dev.read_page(ppn).unwrap();
+//! assert_eq!(read, data);
+//! ```
+
+pub mod addr;
+pub mod block;
+pub mod config;
+pub mod counters;
+pub mod device;
+pub mod error;
+pub mod oob;
+pub mod page;
+pub mod timing;
+
+pub use addr::{Pbn, Ppn};
+pub use block::{Block, BlockState};
+pub use config::{FlashConfig, Geometry};
+pub use counters::{FlashCounters, WearStats};
+pub use device::{DataMode, FlashDevice};
+pub use error::FlashError;
+pub use oob::OobData;
+pub use page::PageState;
+pub use timing::FlashTiming;
+
+/// Result alias for flash operations.
+pub type Result<T> = std::result::Result<T, FlashError>;

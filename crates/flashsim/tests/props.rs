@@ -1,0 +1,150 @@
+//! Property tests: the flash device must enforce the NAND state machine
+//! under arbitrary operation sequences, and agree with a reference model
+//! about every page's state and contents.
+
+use flashsim::{DataMode, FlashConfig, FlashDevice, FlashError, OobData, PageState, Pbn, Ppn};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    ProgramNext(u8, u64), // block index, lba tag
+    Erase(u8),
+    Invalidate(u8, u8), // block, page
+    Read(u8, u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0u8..16, any::<u64>()).prop_map(|(b, l)| Op::ProgramNext(b, l)),
+        (0u8..16).prop_map(Op::Erase),
+        (0u8..16, 0u8..8).prop_map(|(b, p)| Op::Invalidate(b, p)),
+        (0u8..16, 0u8..8).prop_map(|(b, p)| Op::Read(b, p)),
+    ];
+    proptest::collection::vec(op, 1..400)
+}
+
+/// Reference model: per-page (state, fill byte).
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ModelPage {
+    Free,
+    Valid(u8),
+    Invalid,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn device_matches_reference_model(ops in ops()) {
+        let config = FlashConfig::small_test(); // 16 blocks x 8 pages x 512 B
+        let mut dev = FlashDevice::new(config, DataMode::Store);
+        let g = *dev.geometry();
+        let mut model = vec![[ModelPage::Free; 8]; 16];
+        let mut write_ptr = [0usize; 16];
+        let mut seq = 0u64;
+
+        for op in ops {
+            match op {
+                Op::ProgramNext(b, lba) => {
+                    let pbn = Pbn(b as u64);
+                    seq += 1;
+                    let fill = (lba % 251) as u8;
+                    let data = vec![fill; g.page_size()];
+                    let result = dev.program_next(pbn, &data, OobData::for_lba(lba, false, seq));
+                    if write_ptr[b as usize] < 8 {
+                        let (ppn, _) = result.expect("program into free slot");
+                        prop_assert_eq!(g.page_in_block(ppn) as usize, write_ptr[b as usize]);
+                        model[b as usize][write_ptr[b as usize]] = ModelPage::Valid(fill);
+                        write_ptr[b as usize] += 1;
+                    } else {
+                        prop_assert!(matches!(result, Err(FlashError::ProgramNotFree(_))));
+                    }
+                }
+                Op::Erase(b) => {
+                    dev.erase_block(Pbn(b as u64)).expect("erase in range");
+                    model[b as usize] = [ModelPage::Free; 8];
+                    write_ptr[b as usize] = 0;
+                }
+                Op::Invalidate(b, p) => {
+                    let ppn = Ppn(b as u64 * 8 + p as u64);
+                    let result = dev.invalidate_page(ppn);
+                    match model[b as usize][p as usize] {
+                        ModelPage::Free => {
+                            prop_assert!(matches!(result, Err(FlashError::ReadFree(_))));
+                        }
+                        ModelPage::Valid(_) | ModelPage::Invalid => {
+                            result.expect("invalidate programmed page");
+                            model[b as usize][p as usize] = ModelPage::Invalid;
+                        }
+                    }
+                }
+                Op::Read(b, p) => {
+                    let ppn = Ppn(b as u64 * 8 + p as u64);
+                    let result = dev.read_page(ppn);
+                    match model[b as usize][p as usize] {
+                        ModelPage::Free => {
+                            prop_assert!(matches!(result, Err(FlashError::ReadFree(_))));
+                        }
+                        ModelPage::Valid(fill) => {
+                            let (data, _) = result.expect("read valid page");
+                            prop_assert_eq!(data, vec![fill; g.page_size()]);
+                        }
+                        ModelPage::Invalid => {
+                            // Invalid pages are readable (GC relies on it);
+                            // store mode drops their payload.
+                            prop_assert!(result.is_ok());
+                        }
+                    }
+                }
+            }
+            // Aggregate state agreement on a sample block.
+            let sample = Pbn(0);
+            let state = dev.block_state(sample).unwrap();
+            let expect_valid =
+                model[0].iter().filter(|p| matches!(p, ModelPage::Valid(_))).count() as u32;
+            let expect_invalid =
+                model[0].iter().filter(|p| matches!(p, ModelPage::Invalid)).count() as u32;
+            prop_assert_eq!(state.valid_pages, expect_valid);
+            prop_assert_eq!(state.invalid_pages, expect_invalid);
+            prop_assert_eq!(state.write_ptr as usize, write_ptr[0]);
+        }
+    }
+
+    #[test]
+    fn wear_accounting_is_exact(erase_seq in proptest::collection::vec(0u8..16, 0..200)) {
+        let mut dev = FlashDevice::new(FlashConfig::small_test(), DataMode::Discard);
+        let mut counts = [0u64; 16];
+        for b in &erase_seq {
+            dev.erase_block(Pbn(*b as u64)).unwrap();
+            counts[*b as usize] += 1;
+        }
+        let wear = dev.wear();
+        prop_assert_eq!(wear.total_erases, erase_seq.len() as u64);
+        prop_assert_eq!(wear.max_erases, counts.iter().copied().max().unwrap());
+        prop_assert_eq!(wear.min_erases, counts.iter().copied().min().unwrap());
+        prop_assert_eq!(dev.counters().erases, erase_seq.len() as u64);
+        for (pbn, c) in dev.erase_counts() {
+            prop_assert_eq!(c, counts[pbn.raw() as usize]);
+        }
+    }
+
+    #[test]
+    fn oob_round_trips(lbas in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..8)) {
+        let mut dev = FlashDevice::new(FlashConfig::small_test(), DataMode::Discard);
+        let g = *dev.geometry();
+        let data = vec![0u8; g.page_size()];
+        for (i, (lba, dirty)) in lbas.iter().enumerate() {
+            let (ppn, _) = dev
+                .program_next(Pbn(0), &data, OobData::for_lba(*lba, *dirty, i as u64))
+                .unwrap();
+            let oob = dev.peek_oob(ppn).unwrap();
+            prop_assert_eq!(oob.lba, Some(*lba));
+            prop_assert_eq!(oob.dirty, *dirty);
+            prop_assert_eq!(oob.seq, i as u64);
+            let (scanned, _) = dev.read_oob(ppn).unwrap();
+            prop_assert_eq!(scanned, oob);
+        }
+        prop_assert_eq!(dev.valid_pages_of(Pbn(0)).unwrap().len(), lbas.len());
+        prop_assert_eq!(dev.page_state(Ppn(lbas.len() as u64)).unwrap(), PageState::Free);
+    }
+}

@@ -1,0 +1,61 @@
+//! FTL-level errors.
+
+use flashsim::FlashError;
+use std::fmt;
+
+/// Errors returned by FTL operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// Logical address beyond the exposed device capacity.
+    LbaOutOfRange(u64),
+    /// The free-block pool is exhausted and no merge/GC could free space.
+    ///
+    /// Indicates a misconfiguration (no over-provisioning) rather than a
+    /// runtime condition a caller should handle.
+    OutOfSpace,
+    /// An underlying flash operation failed.
+    Flash(FlashError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::LbaOutOfRange(lba) => write!(f, "logical address {lba} out of range"),
+            FtlError::OutOfSpace => write!(f, "free-block pool exhausted"),
+            FtlError::Flash(e) => write!(f, "flash error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FtlError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for FtlError {
+    fn from(e: FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim::Ppn;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(FtlError::LbaOutOfRange(5).to_string().contains('5'));
+        assert!(FtlError::OutOfSpace.to_string().contains("exhausted"));
+        let e: FtlError = FlashError::ReadFree(Ppn(1)).into();
+        assert!(matches!(e, FtlError::Flash(_)));
+        assert!(e.to_string().contains("flash error"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(FtlError::OutOfSpace.source().is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Wear-aware, plane-balanced free-block pool.
+//!
+//! Both the SSD FTLs and the SSC allocate erased blocks from a common pool
+//! abstraction. Allocation policy implements the two concerns the paper
+//! names:
+//!
+//! * **wear leveling** — within a plane, the free block with the lowest
+//!   erase count is handed out first, spreading erases evenly;
+//! * **plane balancing** — unless the caller pins a plane, allocation takes
+//!   from the plane with the most free blocks ("we also implement
+//!   inter-plane copy of valid pages for garbage collection ... to balance
+//!   the number of free blocks across all planes", §5).
+
+use flashsim::{Geometry, Pbn};
+use std::collections::BTreeSet;
+
+/// A pool of erased, allocatable blocks.
+///
+/// The pool tracks erase counts at insertion time; callers return blocks to
+/// the pool after erasing them with the then-current count.
+#[derive(Debug, Clone)]
+pub struct FreeBlockPool {
+    /// Per-plane ordered sets of (erase_count, pbn).
+    planes: Vec<BTreeSet<(u64, Pbn)>>,
+    total: usize,
+}
+
+impl FreeBlockPool {
+    /// Creates an empty pool for a device with `planes` planes.
+    pub fn new(planes: u32) -> Self {
+        FreeBlockPool {
+            planes: vec![BTreeSet::new(); planes as usize],
+            total: 0,
+        }
+    }
+
+    /// Creates a pool pre-filled with every block of the geometry (a freshly
+    /// erased device).
+    pub fn full(geometry: &Geometry) -> Self {
+        let mut pool = Self::new(geometry.planes());
+        for plane in 0..geometry.planes() {
+            for block in 0..geometry.blocks_per_plane() {
+                pool.release(geometry.pbn(plane, block), 0, geometry);
+            }
+        }
+        pool
+    }
+
+    /// Total free blocks across all planes.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Returns `true` if no block is free.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Free blocks in one plane.
+    pub fn len_in_plane(&self, plane: u32) -> usize {
+        self.planes[plane as usize].len()
+    }
+
+    /// Returns a freshly erased block to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the block is already pooled.
+    pub fn release(&mut self, pbn: Pbn, erase_count: u64, geometry: &Geometry) {
+        let plane = geometry.plane_of(pbn) as usize;
+        let inserted = self.planes[plane].insert((erase_count, pbn));
+        debug_assert!(inserted, "block {pbn:?} double-released");
+        if inserted {
+            self.total += 1;
+        }
+    }
+
+    /// Allocates the least-worn free block from the fullest plane.
+    ///
+    /// Returns `None` when the pool is empty.
+    pub fn alloc(&mut self) -> Option<Pbn> {
+        let plane = self
+            .planes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, set)| (set.len(), usize::MAX - i))?
+            .0;
+        self.alloc_in_plane(plane as u32)
+    }
+
+    /// Allocates the least-worn free block of a specific plane.
+    pub fn alloc_in_plane(&mut self, plane: u32) -> Option<Pbn> {
+        let set = &mut self.planes[plane as usize];
+        let &(erases, pbn) = set.iter().next()?;
+        set.remove(&(erases, pbn));
+        self.total -= 1;
+        Some(pbn)
+    }
+
+    /// The plane currently holding the most free blocks.
+    pub fn fullest_plane(&self) -> u32 {
+        self.planes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, set)| (set.len(), usize::MAX - i))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// The plane currently holding the fewest free blocks.
+    pub fn emptiest_plane(&self) -> u32 {
+        self.planes
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, set)| (set.len(), *i))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim::FlashConfig;
+
+    fn geom() -> Geometry {
+        FlashConfig::small_test().geometry // 2 planes x 8 blocks
+    }
+
+    #[test]
+    fn full_pool_has_every_block() {
+        let g = geom();
+        let pool = FreeBlockPool::full(&g);
+        assert_eq!(pool.len(), g.total_blocks() as usize);
+        assert_eq!(pool.len_in_plane(0), 8);
+        assert_eq!(pool.len_in_plane(1), 8);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn alloc_prefers_fullest_plane() {
+        let g = geom();
+        let mut pool = FreeBlockPool::full(&g);
+        // Drain plane 0 by pinned allocation.
+        for _ in 0..5 {
+            pool.alloc_in_plane(0).unwrap();
+        }
+        // Unpinned allocations now come from plane 1.
+        let pbn = pool.alloc().unwrap();
+        assert_eq!(g.plane_of(pbn), 1);
+        assert_eq!(pool.fullest_plane(), 1);
+        assert_eq!(pool.emptiest_plane(), 0);
+    }
+
+    #[test]
+    fn alloc_prefers_least_worn() {
+        let g = geom();
+        let mut pool = FreeBlockPool::new(g.planes());
+        pool.release(g.pbn(0, 0), 5, &g);
+        pool.release(g.pbn(0, 1), 1, &g);
+        pool.release(g.pbn(0, 2), 3, &g);
+        assert_eq!(pool.alloc_in_plane(0).unwrap(), g.pbn(0, 1));
+        assert_eq!(pool.alloc_in_plane(0).unwrap(), g.pbn(0, 2));
+        assert_eq!(pool.alloc_in_plane(0).unwrap(), g.pbn(0, 0));
+        assert_eq!(pool.alloc_in_plane(0), None);
+    }
+
+    #[test]
+    fn empty_pool_allocs_none() {
+        let g = geom();
+        let mut pool = FreeBlockPool::new(g.planes());
+        assert!(pool.is_empty());
+        assert_eq!(pool.alloc(), None);
+        assert_eq!(pool.alloc_in_plane(1), None);
+    }
+
+    #[test]
+    fn release_and_realloc_cycles() {
+        let g = geom();
+        let mut pool = FreeBlockPool::new(g.planes());
+        let pbn = g.pbn(1, 3);
+        pool.release(pbn, 0, &g);
+        assert_eq!(pool.alloc().unwrap(), pbn);
+        pool.release(pbn, 1, &g);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.alloc_in_plane(1).unwrap(), pbn);
+        assert!(pool.is_empty());
+    }
+}

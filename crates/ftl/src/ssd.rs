@@ -1,0 +1,90 @@
+//! The common block-device interface and counters for both FTLs.
+
+use simkit::Duration;
+use sparsemap::MapMemory;
+
+use crate::Result;
+
+/// Counters every FTL maintains, on top of the raw flash counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtlCounters {
+    /// Pages written by the host.
+    pub host_writes: u64,
+    /// Pages read by the host.
+    pub host_reads: u64,
+    /// Pages copied by garbage collection and merges.
+    pub gc_copies: u64,
+    /// Switch merges performed (hybrid FTL).
+    pub switch_merges: u64,
+    /// Full merges performed (hybrid FTL).
+    pub full_merges: u64,
+    /// Data blocks reclaimed by garbage collection.
+    pub gc_collections: u64,
+}
+
+impl FtlCounters {
+    /// Write amplification observed so far: flash page writes per host page
+    /// write. Requires the caller to pass total flash writes (which include
+    /// GC copies).
+    pub fn write_amplification(&self, flash_page_writes: u64) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            flash_page_writes as f64 / self.host_writes as f64
+        }
+    }
+}
+
+/// The interface the cache manager uses to drive an SSD.
+///
+/// Reads of never-written (or trimmed) addresses succeed and return zeros —
+/// disk-replacement semantics, in contrast to the SSC which returns
+/// not-present errors. All methods return the simulated device time consumed,
+/// including any garbage-collection work triggered.
+pub trait BlockDev {
+    /// Exposed capacity in 4 KB logical pages.
+    fn capacity_pages(&self) -> u64;
+
+    /// Reads one logical page.
+    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)>;
+
+    /// Writes one logical page.
+    fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration>;
+
+    /// Discards one logical page (TRIM); subsequent reads return zeros.
+    fn trim(&mut self, lba: u64) -> Result<Duration>;
+
+    /// FTL-level counters.
+    fn ftl_counters(&self) -> FtlCounters;
+
+    /// Raw flash counters.
+    fn flash_counters(&self) -> flashsim::FlashCounters;
+
+    /// Wear statistics.
+    fn wear(&self) -> flashsim::WearStats;
+
+    /// Device-memory footprint of the mapping structures.
+    fn map_memory(&self) -> MapMemory;
+
+    /// Write amplification: flash page writes per host page write.
+    fn write_amplification(&self) -> f64 {
+        self.ftl_counters()
+            .write_amplification(self.flash_counters().page_writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_math() {
+        let c = FtlCounters {
+            host_writes: 100,
+            ..Default::default()
+        };
+        assert!((c.write_amplification(230) - 2.3).abs() < 1e-12);
+        let zero = FtlCounters::default();
+        assert_eq!(zero.write_amplification(50), 0.0);
+    }
+}

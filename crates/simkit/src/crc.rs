@@ -1,0 +1,78 @@
+//! CRC-32 (ISO-HDLC polynomial), table-driven.
+//!
+//! Used to frame durable metadata (log records, checkpoint headers) so
+//! recovery can detect torn or corrupted tails — the property that lets a
+//! two-slot checkpoint scheme and a crash-truncated log fail safe.
+
+/// The reflected ISO-HDLC polynomial used by zlib, Ethernet, PNG.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The classic check value.
+/// assert_eq!(simkit::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            copy[i] ^= 1;
+            assert_ne!(crc32(&copy), base, "flip at byte {i} undetected");
+            copy[i] ^= 1;
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data = b"0123456789abcdef";
+        let full = crc32(data);
+        for cut in 0..data.len() {
+            assert_ne!(crc32(&data[..cut]), full, "truncation at {cut} undetected");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Simulation substrate shared by every FlashTier component.
+//!
+//! The FlashTier reproduction is built around *discrete simulated time*: every
+//! device model (flash, SSC, SSD, disk) reports how many simulated
+//! microseconds an operation took, and the replay harness accumulates those
+//! costs on a [`SimClock`]. Nothing in the workspace reads the wall clock, so
+//! every experiment is exactly reproducible.
+//!
+//! The crate provides:
+//!
+//! * [`SimClock`] / [`SimTime`] / [`Duration`] — the simulated time base.
+//! * [`rng`] — small deterministic PRNGs (SplitMix64 and xoshiro256++) so that
+//!   workload generation does not depend on external crate versions for
+//!   reproducibility of the published numbers.
+//! * [`stats`] — streaming summaries, histograms, percentiles and CDFs used by
+//!   the evaluation harness.
+
+pub mod clock;
+pub mod crc;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Duration, SimClock, SimTime};
+pub use crc::crc32;
+pub use rng::SimRng;
+pub use stats::{Cdf, Histogram, Summary};

@@ -1,0 +1,164 @@
+//! Dense linear-table baseline.
+//!
+//! An SSD "exposes an address space of the same size as its capacity", so it
+//! translates with a flat table indexed by logical address: O(1) access, but
+//! memory proportional to the *address space*, not to the live entries. This
+//! is the structure the Native system's FlashSim SSD uses, and the baseline
+//! the sparse map is compared against in Table 4 and the §6.3 latency
+//! microbenchmarks.
+
+use crate::memory::{dense_modeled_bytes, MapMemory};
+
+/// A dense map: a linear table over a bounded key space.
+///
+/// # Examples
+///
+/// ```
+/// use sparsemap::DenseMap;
+///
+/// let mut map: DenseMap<u64> = DenseMap::new(1024);
+/// map.insert(7, 99).unwrap();
+/// assert_eq!(map.get(7), Some(&99));
+/// assert!(map.insert(5000, 1).is_err()); // beyond the table span
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseMap<V> {
+    slots: Vec<Option<V>>,
+    entries: usize,
+}
+
+impl<V> DenseMap<V> {
+    /// Creates a table spanning keys `0..span`.
+    pub fn new(span: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(span, || None);
+        DenseMap { slots, entries: 0 }
+    }
+
+    /// The key span (table length).
+    pub fn span(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Returns `true` if no entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Inserts or updates `key`, returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(key)` if `key` is outside the table span.
+    pub fn insert(&mut self, key: u64, value: V) -> Result<Option<V>, u64> {
+        let slot = self.slots.get_mut(key as usize).ok_or(key)?;
+        let old = slot.replace(value);
+        if old.is_none() {
+            self.entries += 1;
+        }
+        Ok(old)
+    }
+
+    /// Returns a reference to the value for `key` (out-of-span keys are
+    /// simply absent).
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.slots.get(key as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Returns a mutable reference to the value for `key`.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.slots.get_mut(key as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let old = self.slots.get_mut(key as usize).and_then(|s| s.take());
+        if old.is_some() {
+            self.entries -= 1;
+        }
+        old
+    }
+
+    /// Iterates `(key, &value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u64, v)))
+    }
+
+    /// Memory report. The modeled footprint charges every slot (the paper's
+    /// dense-table model); heap bytes reflect this implementation's
+    /// `Option<V>` slots.
+    pub fn memory(&self) -> MapMemory {
+        MapMemory {
+            entries: self.entries,
+            modeled_bytes: dense_modeled_bytes(self.slots.len(), std::mem::size_of::<V>()),
+            heap_bytes: (self.slots.capacity() * std::mem::size_of::<Option<V>>()) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m: DenseMap<u32> = DenseMap::new(16);
+        assert_eq!(m.insert(3, 30).unwrap(), None);
+        assert_eq!(m.insert(3, 31).unwrap(), Some(30));
+        assert_eq!(m.get(3), Some(&31));
+        assert!(m.contains_key(3));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(3), Some(31));
+        assert_eq!(m.remove(3), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn out_of_span_is_error_on_insert_absent_on_get() {
+        let mut m: DenseMap<u32> = DenseMap::new(4);
+        assert_eq!(m.insert(4, 1), Err(4));
+        assert_eq!(m.get(4), None);
+        assert_eq!(m.remove(100), None);
+        assert!(!m.contains_key(100));
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut m: DenseMap<u32> = DenseMap::new(4);
+        m.insert(1, 5).unwrap();
+        *m.get_mut(1).unwrap() += 1;
+        assert_eq!(m.get(1), Some(&6));
+        assert!(m.get_mut(2).is_none());
+    }
+
+    #[test]
+    fn iter_in_key_order() {
+        let mut m: DenseMap<u32> = DenseMap::new(8);
+        m.insert(5, 50).unwrap();
+        m.insert(1, 10).unwrap();
+        let pairs: Vec<_> = m.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (5, 50)]);
+    }
+
+    #[test]
+    fn memory_charges_full_span() {
+        let m: DenseMap<u64> = DenseMap::new(1000);
+        let mem = m.memory();
+        assert_eq!(mem.entries, 0);
+        assert_eq!(mem.modeled_bytes, 8000);
+        assert!(mem.heap_bytes >= 8000);
+    }
+}

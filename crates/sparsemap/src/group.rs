@@ -1,0 +1,241 @@
+//! A sparse group: `M = 32` buckets stored as a packed array plus an
+//! occupancy bitmap.
+//!
+//! The paper (§4.1): "Each group is stored sparsely as an array that holds
+//! values for allocated block addresses and an occupancy bitmap of size `M`,
+//! with one bit for each bucket. A bit at location `i` is set to 1 if and
+//! only if bucket `i` is non-empty. A lookup for bucket `i` calculates the
+//! value location from the number of 1s in the bitmap before location `i`."
+
+/// Buckets per group. The paper sets `M = 32`, "which reduces the overhead
+/// of bitmap to just 3.5 bits per key".
+pub const GROUP_SIZE: usize = 32;
+
+/// One sparse group of [`GROUP_SIZE`] buckets.
+///
+/// Occupied buckets store `(key, value)` pairs packed densely in `slots`;
+/// `occupancy` has bit `i` set iff bucket `i` is occupied. `deleted` marks
+/// tombstoned buckets — removal frees the slot (the paper: "an invalid or
+/// unallocated bucket results in reclaiming memory and the occupancy bitmap
+/// is updated accordingly") but the probe sequence must remember that the
+/// bucket was once used, so probing does not terminate early. Tombstones are
+/// discarded wholesale when the parent table rehashes.
+#[derive(Debug, Clone)]
+pub struct Group<V> {
+    occupancy: u32,
+    deleted: u32,
+    slots: Vec<(u64, V)>,
+}
+
+impl<V> Default for Group<V> {
+    fn default() -> Self {
+        Group {
+            occupancy: 0,
+            deleted: 0,
+            slots: Vec::new(),
+        }
+    }
+}
+
+impl<V> Group<V> {
+    /// Creates an empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packed slot index for bucket `i`: the number of occupied buckets
+    /// before `i`.
+    #[inline]
+    fn rank(&self, i: usize) -> usize {
+        debug_assert!(i < GROUP_SIZE);
+        (self.occupancy & ((1u32 << i) - 1)).count_ones() as usize
+    }
+
+    /// Returns `true` if bucket `i` holds an entry.
+    #[inline]
+    pub fn is_occupied(&self, i: usize) -> bool {
+        self.occupancy & (1 << i) != 0
+    }
+
+    /// Returns `true` if bucket `i` is a tombstone.
+    #[inline]
+    pub fn is_deleted(&self, i: usize) -> bool {
+        self.deleted & (1 << i) != 0
+    }
+
+    /// Returns the `(key, value)` in bucket `i`, if occupied.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<(&u64, &V)> {
+        if self.is_occupied(i) {
+            let (k, v) = &self.slots[self.rank(i)];
+            Some((k, v))
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the value in bucket `i`, if occupied.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> Option<(&u64, &mut V)> {
+        if self.is_occupied(i) {
+            let r = self.rank(i);
+            let (k, v) = &mut self.slots[r];
+            Some((&*k, v))
+        } else {
+            None
+        }
+    }
+
+    /// Stores `(key, value)` into bucket `i`.
+    ///
+    /// Returns the previous value if the bucket was occupied. Clears any
+    /// tombstone on the bucket.
+    pub fn set(&mut self, i: usize, key: u64, value: V) -> Option<V> {
+        let r = self.rank(i);
+        self.deleted &= !(1 << i);
+        if self.is_occupied(i) {
+            let old = std::mem::replace(&mut self.slots[r], (key, value));
+            Some(old.1)
+        } else {
+            self.occupancy |= 1 << i;
+            self.slots.insert(r, (key, value));
+            None
+        }
+    }
+
+    /// Removes the entry in bucket `i`, leaving a tombstone.
+    ///
+    /// Returns the removed value; `None` if the bucket was not occupied.
+    pub fn remove(&mut self, i: usize) -> Option<V> {
+        if self.is_occupied(i) {
+            let r = self.rank(i);
+            self.occupancy &= !(1 << i);
+            self.deleted |= 1 << i;
+            Some(self.slots.remove(r).1)
+        } else {
+            None
+        }
+    }
+
+    /// Number of occupied buckets.
+    pub fn len(&self) -> usize {
+        self.occupancy.count_ones() as usize
+    }
+
+    /// Returns `true` if no bucket is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy == 0
+    }
+
+    /// Iterates occupied `(key, value)` pairs in bucket order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &V)> {
+        self.slots.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Heap bytes held by this group's packed slot array.
+    pub fn slot_heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<(u64, V)>()
+    }
+
+    /// Shrinks the slot allocation to fit (used after bulk deletions).
+    pub fn shrink_to_fit(&mut self) {
+        self.slots.shrink_to_fit();
+    }
+
+    /// Consumes the group, returning its packed `(key, value)` pairs.
+    pub(crate) fn into_slots(self) -> Vec<(u64, V)> {
+        self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_group() {
+        let g: Group<u32> = Group::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.get(0), None);
+        assert!(!g.is_occupied(31));
+        assert!(!g.is_deleted(0));
+    }
+
+    #[test]
+    fn set_get_roundtrip_in_any_order() {
+        let mut g: Group<u32> = Group::new();
+        // Insert out of bucket order to exercise rank-based placement.
+        g.set(17, 170, 1700);
+        g.set(3, 30, 300);
+        g.set(31, 310, 3100);
+        g.set(0, 0, 1);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.get(3), Some((&30, &300)));
+        assert_eq!(g.get(17), Some((&170, &1700)));
+        assert_eq!(g.get(31), Some((&310, &3100)));
+        assert_eq!(g.get(0), Some((&0, &1)));
+        assert_eq!(g.get(5), None);
+        // Iteration is in bucket order.
+        let keys: Vec<u64> = g.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![0, 30, 170, 310]);
+    }
+
+    #[test]
+    fn set_replaces_existing() {
+        let mut g: Group<u32> = Group::new();
+        assert_eq!(g.set(4, 40, 400), None);
+        assert_eq!(g.set(4, 40, 401), Some(400));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get(4), Some((&40, &401)));
+    }
+
+    #[test]
+    fn remove_leaves_tombstone_and_frees_slot() {
+        let mut g: Group<u32> = Group::new();
+        g.set(1, 10, 100);
+        g.set(2, 20, 200);
+        assert_eq!(g.remove(1), Some(100));
+        assert!(!g.is_occupied(1));
+        assert!(g.is_deleted(1));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get(2), Some((&20, &200)));
+        // Removing again yields nothing.
+        assert_eq!(g.remove(1), None);
+        // Re-setting clears the tombstone.
+        g.set(1, 11, 111);
+        assert!(g.is_occupied(1));
+        assert!(!g.is_deleted(1));
+    }
+
+    #[test]
+    fn get_mut_mutates_value() {
+        let mut g: Group<u32> = Group::new();
+        g.set(9, 90, 900);
+        if let Some((_, v)) = g.get_mut(9) {
+            *v = 901;
+        }
+        assert_eq!(g.get(9), Some((&90, &901)));
+        assert_eq!(g.get_mut(8), None);
+    }
+
+    #[test]
+    fn full_group_all_buckets() {
+        let mut g: Group<usize> = Group::new();
+        for i in 0..GROUP_SIZE {
+            g.set(i, i as u64 * 7, i * 11);
+        }
+        assert_eq!(g.len(), GROUP_SIZE);
+        for i in 0..GROUP_SIZE {
+            assert_eq!(g.get(i), Some((&(i as u64 * 7), &(i * 11))));
+        }
+    }
+
+    #[test]
+    fn slot_heap_bytes_grows_with_entries() {
+        let mut g: Group<u64> = Group::new();
+        assert_eq!(g.slot_heap_bytes(), 0);
+        g.set(0, 1, 2);
+        assert!(g.slot_heap_bytes() >= std::mem::size_of::<(u64, u64)>());
+    }
+}

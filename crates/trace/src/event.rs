@@ -1,0 +1,258 @@
+//! Trace events and containers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// The operation a trace event performs. All requests are single 4 KB
+/// blocks, matching the paper's traces ("All requests are sector-aligned and
+/// 4,096 bytes", Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A block read.
+    Read,
+    /// A block write.
+    Write,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Disk logical block address (4 KB units).
+    pub lba: u64,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+impl TraceEvent {
+    /// Constructs a read event.
+    pub const fn read(lba: u64) -> Self {
+        TraceEvent {
+            lba,
+            kind: OpKind::Read,
+        }
+    }
+
+    /// Constructs a write event.
+    pub const fn write(lba: u64) -> Self {
+        TraceEvent {
+            lba,
+            kind: OpKind::Write,
+        }
+    }
+
+    /// Returns `true` for writes.
+    pub const fn is_write(&self) -> bool {
+        matches!(self.kind, OpKind::Write)
+    }
+}
+
+/// A named sequence of trace events over a bounded address range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Human-readable workload name.
+    pub name: String,
+    /// Exclusive upper bound of the LBA space (range of the traced volume
+    /// in 4 KB blocks).
+    pub range_blocks: u64,
+    /// The events, in arrival order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a trace, validating that every event falls inside the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses a block at or beyond `range_blocks`.
+    pub fn new(name: impl Into<String>, range_blocks: u64, events: Vec<TraceEvent>) -> Self {
+        let name = name.into();
+        for e in &events {
+            assert!(
+                e.lba < range_blocks,
+                "event lba {} outside range {range_blocks}",
+                e.lba
+            );
+        }
+        Trace {
+            name,
+            range_blocks,
+            events,
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates the events.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Returns the prefix of the trace holding `fraction` of the events —
+    /// the paper warms caches by replaying "the first 15% of the trace".
+    pub fn prefix(&self, fraction: f64) -> &[TraceEvent] {
+        let n = (self.events.len() as f64 * fraction.clamp(0.0, 1.0)) as usize;
+        &self.events[..n]
+    }
+
+    /// Returns the suffix after [`Trace::prefix`].
+    pub fn suffix(&self, fraction: f64) -> &[TraceEvent] {
+        let n = (self.events.len() as f64 * fraction.clamp(0.0, 1.0)) as usize;
+        &self.events[n..]
+    }
+
+    /// Serializes the trace as JSON lines: a header object, then one object
+    /// per event. The format exists so users can replay their own traces.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the writer.
+    pub fn to_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
+        #[derive(Serialize)]
+        struct Header<'a> {
+            name: &'a str,
+            range_blocks: u64,
+        }
+        serde_json::to_writer(
+            &mut w,
+            &Header {
+                name: &self.name,
+                range_blocks: self.range_blocks,
+            },
+        )?;
+        writeln!(w)?;
+        for e in &self.events {
+            serde_json::to_writer(&mut w, e)?;
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a trace from the JSON-lines format written by
+    /// [`Trace::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, malformed JSON, a missing header, or an event outside the
+    /// declared range.
+    pub fn from_jsonl<R: BufRead>(r: R) -> io::Result<Self> {
+        #[derive(Deserialize)]
+        struct Header {
+            name: String,
+            range_blocks: u64,
+        }
+        let mut lines = r.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty trace file"))??;
+        let header: Header = serde_json::from_str(&header_line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut events = Vec::new();
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let e: TraceEvent = serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if e.lba >= header.range_blocks {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("event lba {} outside range {}", e.lba, header.range_blocks),
+                ));
+            }
+            events.push(e);
+        }
+        Ok(Trace {
+            name: header.name,
+            range_blocks: header.range_blocks,
+            events,
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} events over {} blocks",
+            self.name,
+            self.events.len(),
+            self.range_blocks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(
+            "t",
+            100,
+            vec![
+                TraceEvent::read(1),
+                TraceEvent::write(50),
+                TraceEvent::write(99),
+            ],
+        )
+    }
+
+    #[test]
+    fn constructors_and_kind() {
+        let r = TraceEvent::read(5);
+        let w = TraceEvent::write(5);
+        assert!(!r.is_write());
+        assert!(w.is_write());
+        assert_eq!(r.lba, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside range")]
+    fn new_rejects_out_of_range_events() {
+        Trace::new("bad", 10, vec![TraceEvent::read(10)]);
+    }
+
+    #[test]
+    fn prefix_suffix_partition() {
+        let t = sample();
+        assert_eq!(t.prefix(0.34).len() + t.suffix(0.34).len(), t.len());
+        assert_eq!(t.prefix(0.0).len(), 0);
+        assert_eq!(t.prefix(1.0).len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.to_jsonl(&mut buf).unwrap();
+        let back = Trace::from_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(Trace::from_jsonl("not json\n".as_bytes()).is_err());
+        assert!(Trace::from_jsonl("".as_bytes()).is_err());
+        // Event outside declared range.
+        let bad = "{\"name\":\"x\",\"range_blocks\":4}\n{\"lba\":9,\"kind\":\"Read\"}\n";
+        assert!(Trace::from_jsonl(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = sample().to_string();
+        assert!(s.contains("3 events"));
+        assert!(s.contains("100 blocks"));
+    }
+}

@@ -1,0 +1,361 @@
+//! Synthetic trace generation.
+//!
+//! Two-phase construction:
+//!
+//! 1. **Layout** — scatter the spec's unique blocks over the volume with a
+//!    heavy-tailed per-region density (regions of 100,000 blocks, as in
+//!    Figure 1): a few regions are dense, most are touched in only a handful
+//!    of short runs. Runs of contiguous blocks model files.
+//! 2. **Access stream** — draw blocks from the laid-out population with a
+//!    scrambled-Zipf popularity distribution, mixing in short sequential
+//!    runs, and tag each access read/write by the spec's write fraction.
+//!
+//! Everything is driven by the spec's seed, so a given [`WorkloadSpec`]
+//! always produces the identical trace.
+
+use std::collections::HashSet;
+
+use simkit::SimRng;
+
+use crate::event::{Trace, TraceEvent};
+use crate::workloads::WorkloadSpec;
+use crate::zipf::{scramble, ZipfSampler};
+
+/// Region granularity used for density shaping (Figure 1 analyzes
+/// "100,000 4 KB block regions of the disk address space").
+pub const REGION_BLOCKS: u64 = 100_000;
+
+/// Generates the synthetic trace for a workload specification.
+///
+/// # Examples
+///
+/// ```
+/// use trace::{generate, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::homes().scaled(10_000.0);
+/// let trace = generate(&spec);
+/// assert_eq!(trace.len() as u64, spec.total_ops);
+/// ```
+pub fn generate(spec: &WorkloadSpec) -> Trace {
+    let mut rng = SimRng::seed_from(spec.seed);
+    let population = layout_population(spec, &mut rng);
+    let runs = run_boundaries(&population);
+    access_stream(spec, &population, &runs, &mut rng)
+}
+
+/// Splits the population (stored run-contiguously) into `(start, len)` runs
+/// of adjacent addresses — the "files" popularity is assigned to.
+fn run_boundaries(population: &[u64]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = 0;
+    for i in 1..=population.len() {
+        let broken = i == population.len() || population[i] != population[i - 1] + 1;
+        if broken {
+            runs.push((start, i - start));
+            start = i;
+        }
+    }
+    runs
+}
+
+/// Phase 1: choose which blocks of the volume exist in the trace.
+fn layout_population(spec: &WorkloadSpec, rng: &mut SimRng) -> Vec<u64> {
+    let unique = spec.unique_blocks.min(spec.range_blocks);
+    let region_count = spec.range_blocks.div_ceil(REGION_BLOCKS).max(1);
+
+    // Heavy-tailed region weights over a shuffled region order: region at
+    // shuffled position i gets weight (i+1)^-1.1. This concentrates blocks
+    // in a few regions while touching many thinly, matching Figure 1.
+    let mut order: Vec<u64> = (0..region_count).collect();
+    rng.shuffle(&mut order);
+    let weights: Vec<f64> = (0..region_count)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(1.1))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let mut population = Vec::with_capacity(unique as usize);
+    let mut remaining = unique;
+    for (i, &region) in order.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        let region_start = region * REGION_BLOCKS;
+        let region_len = REGION_BLOCKS.min(spec.range_blocks - region_start);
+        let mut quota = ((unique as f64 * weights[i] / total_weight).ceil() as u64).min(region_len);
+        // The last regions absorb any shortfall from capping dense regions.
+        if i == order.len() - 1 {
+            quota = quota.max(remaining.min(region_len));
+        }
+        let quota = quota.min(remaining);
+        let picked = pick_region_blocks(region_start, region_len, quota, spec.seq_run_len, rng);
+        remaining -= picked.len() as u64;
+        population.extend(picked);
+    }
+    // If capping left a shortfall, fill uniformly at random.
+    let mut seen: HashSet<u64> = population.iter().copied().collect();
+    while (population.len() as u64) < unique && (seen.len() as u64) < spec.range_blocks {
+        let lba = rng.gen_range(spec.range_blocks);
+        if seen.insert(lba) {
+            population.push(lba);
+        }
+    }
+    population
+}
+
+/// Alignment of large layout extents: one 64-page (256 KB) erase block.
+/// Filesystems allocate extents, so hot files occupy whole aligned chunks —
+/// the clustering that makes hybrid (block-granularity) mapping viable on
+/// real traces.
+const EXTENT_BLOCKS: u64 = 64;
+
+/// Picks `quota` distinct blocks inside one region: mostly large aligned
+/// extents (files), plus a tail of short scattered runs (metadata, small
+/// files).
+fn pick_region_blocks(
+    start: u64,
+    len: u64,
+    quota: u64,
+    mean_run: u64,
+    rng: &mut SimRng,
+) -> Vec<u64> {
+    let mut picked = Vec::with_capacity(quota as usize);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(quota as usize);
+    let mut attempts = 0u64;
+    while (picked.len() as u64) < quota && attempts < quota * 8 + 64 {
+        attempts += 1;
+        let (run_start, run_len) = if rng.gen_bool(0.85) {
+            // A large extent: one or more whole aligned chunks.
+            let chunks = len / EXTENT_BLOCKS;
+            if chunks == 0 {
+                (start, len)
+            } else {
+                let chunk = rng.gen_range(chunks);
+                let extent_chunks = 1 + rng.gen_range(4).min(chunks - chunk - 1 + 1);
+                (start + chunk * EXTENT_BLOCKS, extent_chunks * EXTENT_BLOCKS)
+            }
+        } else {
+            // A short scattered run.
+            (start + rng.gen_range(len), geometric(mean_run, rng))
+        };
+        let run_len = run_len.min(quota - picked.len() as u64);
+        for lba in run_start..(run_start + run_len).min(start + len) {
+            if seen.insert(lba) {
+                picked.push(lba);
+            }
+        }
+    }
+    picked
+}
+
+/// Geometric-ish run length with the given mean (at least 1).
+fn geometric(mean: u64, rng: &mut SimRng) -> u64 {
+    if mean <= 1 {
+        return 1;
+    }
+    let p = 1.0 / mean as f64;
+    let mut n = 1;
+    while n < 4 * mean && !rng.gen_bool(p) {
+        n += 1;
+    }
+    n
+}
+
+/// Phase 2: emit the access stream.
+///
+/// Popularity is assigned to whole layout *runs* (files): a scrambled-Zipf
+/// draw picks a run, and the access touches a block (or a short sequential
+/// burst) inside it. Hot data therefore clusters at extent granularity —
+/// the property of real file-server traces that makes erase-block-level
+/// mapping effective — while cold runs supply the long sparse tail.
+fn access_stream(
+    spec: &WorkloadSpec,
+    population: &[u64],
+    runs: &[(usize, usize)],
+    rng: &mut SimRng,
+) -> Trace {
+    assert!(!population.is_empty(), "workload population is empty");
+    let n_runs = runs.len() as u64;
+    // Partition runs into write-hot (logs, mail appends, backups) and
+    // read-hot (the working set) populations: real server traces separate
+    // the data they churn from the data they read, which is what keeps
+    // utilization-driven silent eviction from hurting reads. The split
+    // matches the spec's write fraction; a small cross-traffic fraction
+    // keeps the populations overlapping.
+    const CROSS_TRAFFIC: f64 = 0.15;
+    let is_write_hot = |run_index: u64| -> bool {
+        let u = scramble(run_index ^ spec.seed.rotate_left(13)) as f64 / u64::MAX as f64;
+        u < spec.write_fraction
+    };
+    let mut write_runs: Vec<u64> = Vec::new();
+    let mut read_runs: Vec<u64> = Vec::new();
+    for i in 0..n_runs {
+        if is_write_hot(i) {
+            write_runs.push(i);
+        } else {
+            read_runs.push(i);
+        }
+    }
+    // Degenerate mixes: fall back to one shared population.
+    if write_runs.is_empty() || read_runs.is_empty() {
+        write_runs = (0..n_runs).collect();
+        read_runs = write_runs.clone();
+    }
+    let write_zipf = ZipfSampler::new(write_runs.len() as u64, spec.zipf_theta);
+    let read_zipf = ZipfSampler::new(read_runs.len() as u64, spec.zipf_theta);
+    let mut events = Vec::with_capacity(spec.total_ops as usize);
+    let mut write_events = 0u64;
+    while (events.len() as u64) < spec.total_ops {
+        // Reads emit long scan bursts while writes emit short ones, so a
+        // per-draw coin would skew the event-weighted mix; steer the choice
+        // by the running fraction instead (deterministic and exact).
+        let is_write = (write_events as f64) < spec.write_fraction * (events.len() as f64 + 1.0);
+        let cross = rng.gen_bool(CROSS_TRAFFIC);
+        let from_writes = is_write != cross;
+        // Popularity follows layout order in coarse bands: the layout puts
+        // dense regions first, so hot runs cluster spatially (Figure 1's
+        // pattern — most touched regions hold almost none of the hot set)
+        // while the in-band scramble keeps adjacent runs' popularity
+        // uncorrelated.
+        let banded = |rank: u64, n: u64| -> u64 {
+            let band = (n / 20).max(1);
+            let base = (rank / band) * band;
+            base + scramble(rank) % band.min(n - base)
+        };
+        let run_index = if from_writes {
+            write_runs[banded(write_zipf.sample(rng), write_runs.len() as u64) as usize]
+        } else {
+            read_runs[banded(read_zipf.sample(rng), read_runs.len() as u64) as usize]
+        };
+        let (run_start, run_len) = runs[run_index as usize];
+        // Reads are scan-heavy (whole-file reads); writes mix appends and
+        // in-place updates.
+        let seq_prob = if is_write {
+            spec.seq_run_prob
+        } else {
+            (2.0 * spec.seq_run_prob).min(0.8)
+        };
+        let (first, burst) = if rng.gen_bool(seq_prob) {
+            let len = if is_write {
+                geometric(spec.seq_run_len, rng).min(run_len as u64)
+            } else {
+                run_len as u64 // full-file scan
+            };
+            (run_start, len)
+        } else {
+            // Single access somewhere in the run.
+            (run_start + rng.gen_range(run_len as u64) as usize, 1)
+        };
+        for i in 0..burst as usize {
+            if events.len() as u64 >= spec.total_ops || first + i >= run_start + run_len {
+                break;
+            }
+            let lba = population[first + i];
+            if is_write {
+                write_events += 1;
+            }
+            events.push(if is_write {
+                TraceEvent::write(lba)
+            } else {
+                TraceEvent::read(lba)
+            });
+        }
+    }
+    Trace::new(spec.name.clone(), spec.range_blocks, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::homes().scaled(200.0)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = small_spec();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec = small_spec();
+        let a = generate(&spec);
+        spec.seed += 1;
+        let b = generate(&spec);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn op_count_and_range_respected() {
+        let spec = small_spec();
+        let t = generate(&spec);
+        assert_eq!(t.len() as u64, spec.total_ops);
+        assert!(t.iter().all(|e| e.lba < spec.range_blocks));
+    }
+
+    #[test]
+    fn write_fraction_close_to_spec() {
+        let spec = small_spec();
+        let t = generate(&spec);
+        let writes = t.iter().filter(|e| e.is_write()).count() as f64;
+        let frac = writes / t.len() as f64;
+        assert!(
+            (frac - spec.write_fraction).abs() < 0.03,
+            "write fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn unique_blocks_in_expected_ballpark() {
+        let spec = small_spec();
+        let t = generate(&spec);
+        let stats = TraceStats::compute(&t);
+        // Zipf reuse means not every population block is touched; sequential
+        // spill can add a few extras. Accept a generous band.
+        let unique = stats.unique_blocks as f64;
+        assert!(
+            unique > spec.unique_blocks as f64 * 0.3 && unique < spec.unique_blocks as f64 * 1.5,
+            "unique {unique} vs spec {}",
+            spec.unique_blocks
+        );
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let spec = small_spec();
+        let t = generate(&spec);
+        let stats = TraceStats::compute(&t);
+        // The top 25% of blocks must absorb well over 25% of accesses.
+        let share = stats.hot_access_share(0.25);
+        assert!(share > 0.5, "hot-set access share {share}");
+    }
+
+    #[test]
+    fn read_heavy_spec_generates_reads() {
+        let spec = WorkloadSpec::usr().scaled(10_000.0);
+        let t = generate(&spec);
+        let writes = t.iter().filter(|e| e.is_write()).count() as f64;
+        assert!((writes / t.len() as f64) < 0.12);
+    }
+
+    #[test]
+    fn geometric_mean_roughly_matches() {
+        let mut rng = SimRng::seed_from(1);
+        let n = 10_000;
+        let sum: u64 = (0..n).map(|_| geometric(8, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((5.0..11.0).contains(&mean), "mean run {mean}");
+        assert_eq!(geometric(1, &mut rng), 1);
+    }
+
+    #[test]
+    fn tiny_spec_still_generates() {
+        let spec = WorkloadSpec::proj().scaled(1e9);
+        let t = generate(&spec);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: the SSC interface in five minutes.
+//!
+//! Builds a solid-state cache, exercises the six interface operations
+//! (`write-dirty`, `write-clean`, `read`, `evict`, `clean`, `exists`), and
+//! shows the three consistency guarantees surviving a simulated crash.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use flashtier::flashsim::FlashConfig;
+use flashtier::ssc::{Ssc, SscConfig, SscError};
+
+fn main() {
+    // A 64 MB SSC with the paper's SE-Util policy and full consistency.
+    let config = SscConfig::ssc(FlashConfig::with_capacity_bytes(64 << 20));
+    let mut ssc = Ssc::new(config);
+    let page_size = ssc.page_size();
+    println!(
+        "SSC ready: {} pages of {} bytes",
+        ssc.data_capacity_pages(),
+        page_size
+    );
+
+    // --- write-clean + read -------------------------------------------
+    // Cache manager fetched disk block 1_000_000 on a miss; cache it.
+    let clean_data = vec![0xAA; page_size];
+    let cost = ssc.write_clean(1_000_000, &clean_data).unwrap();
+    println!("write-clean took {cost} of simulated device time");
+    let (data, cost) = ssc.read(1_000_000).unwrap();
+    assert_eq!(data, clean_data);
+    println!("read hit took {cost}");
+
+    // --- write-dirty: durable before returning -------------------------
+    let dirty_data = vec![0xBB; page_size];
+    ssc.write_dirty(2_000_000, &dirty_data).unwrap();
+
+    // --- exists: find dirty blocks (used for write-back recovery) ------
+    let (dirty, _) = ssc.exists(0, u64::MAX);
+    assert_eq!(dirty, vec![2_000_000]);
+    println!("exists() reports dirty blocks: {dirty:?}");
+
+    // --- crash: guarantee 1 (dirty data survives) ----------------------
+    ssc.crash();
+    let recovery_time = ssc.recover().unwrap();
+    println!("recovered from crash in {recovery_time}");
+    let (data, _) = ssc.read(2_000_000).unwrap();
+    assert_eq!(data, dirty_data, "guarantee 1: dirty data is durable");
+
+    // --- clean: allow eviction of written-back data ---------------------
+    ssc.clean(2_000_000).unwrap();
+    let (dirty, _) = ssc.exists(0, u64::MAX);
+    assert!(dirty.is_empty(), "cleaned blocks are no longer dirty");
+
+    // --- evict: guarantee 3 (read-after-evict fails) --------------------
+    ssc.evict(1_000_000).unwrap();
+    match ssc.read(1_000_000) {
+        Err(SscError::NotPresent(lba)) => {
+            println!("guarantee 3: block {lba} is not-present after evict")
+        }
+        other => panic!("expected not-present, got {other:?}"),
+    }
+
+    // --- a misses is a normal signal, not a failure ---------------------
+    assert!(matches!(ssc.read(42), Err(SscError::NotPresent(42))));
+    println!("\ncounters: {:#?}", ssc.counters());
+}

@@ -1,0 +1,267 @@
+//! `flashtier` — the trace-replay command line.
+//!
+//! The paper's evaluation ran through "a trace-replay framework invokable
+//! from user-space" (§5); this binary is that framework for the simulated
+//! stack. It generates calibrated synthetic traces, characterizes any
+//! trace in the JSON-lines format, and replays traces against every system
+//! configuration the evaluation compares.
+//!
+//! ```text
+//! flashtier gen-trace homes --scale 100 --out homes.jsonl
+//! flashtier stats homes.jsonl
+//! flashtier replay homes.jsonl --system flashtier-wb --cache-mb 64
+//! flashtier replay homes.jsonl --system native-wb --cache-mb 64
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use flashtier::cachemgr::{
+    replay, CacheSystem, FlashTierWb, FlashTierWt, NativeCache, NativeConsistency, NativeMode,
+};
+use flashtier::disksim::{Disk, DiskConfig, DiskDataMode};
+use flashtier::flashsim::{DataMode, FlashConfig};
+use flashtier::ftl::{HybridFtl, SsdConfig};
+use flashtier::ssc::{ConsistencyMode, Ssc, SscConfig};
+use flashtier::trace::{generate, Trace, TraceStats, WorkloadSpec};
+
+const USAGE: &str = "\
+flashtier — FlashTier trace-replay framework
+
+USAGE:
+    flashtier gen-trace <homes|mail|usr|proj> [--scale <f>] --out <file>
+    flashtier import-msr <trace.csv> --out <file> [--max-events <n>]
+    flashtier stats <trace.jsonl>
+    flashtier replay <trace.jsonl> --system <kind> [options]
+
+REPLAY OPTIONS:
+    --system <kind>       flashtier-wt | flashtier-wb | native-wt | native-wb
+    --cache-mb <n>        cache size in MB (default: 25% of the trace's unique blocks)
+    --ssc-r               use the SSC-R (SE-Merge, 20% log) device
+    --consistency <mode>  none | dirty | full   (default: full)
+    --warmup <frac>       untimed warm-up fraction of the trace (default 0.15)
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen-trace") => gen_trace(&args),
+        Some("import-msr") => import_msr(&args),
+        Some("stats") => stats(&args),
+        Some("replay") => replay_cmd(&args),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown command '{other}'")),
+    }
+}
+
+fn gen_trace(args: &[String]) -> ExitCode {
+    let Some(name) = args.get(1) else {
+        return fail("gen-trace needs a workload name");
+    };
+    let spec = match name.as_str() {
+        "homes" => WorkloadSpec::homes(),
+        "mail" => WorkloadSpec::mail(),
+        "usr" => WorkloadSpec::usr(),
+        "proj" => WorkloadSpec::proj(),
+        other => return fail(&format!("unknown workload '{other}'")),
+    };
+    let scale: f64 = arg_value(args, "--scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500.0);
+    let Some(out) = arg_value(args, "--out") else {
+        return fail("gen-trace needs --out <file>");
+    };
+    let spec = spec.scaled(scale);
+    eprintln!(
+        "generating {}: {} ops over {} blocks (scale 1/{scale})",
+        spec.name, spec.total_ops, spec.range_blocks
+    );
+    let trace = generate(&spec);
+    let file = match File::create(&out) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot create {out}: {e}")),
+    };
+    if let Err(e) = trace.to_jsonl(BufWriter::new(file)) {
+        return fail(&format!("write failed: {e}"));
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn import_msr(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        return fail("import-msr needs a CSV file");
+    };
+    let Some(out) = arg_value(args, "--out") else {
+        return fail("import-msr needs --out <file>");
+    };
+    let max_events: usize = arg_value(args, "--max-events")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot open {path}: {e}")),
+    };
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("msr")
+        .to_string();
+    let (trace, skipped) =
+        match flashtier::trace::from_msr_csv(BufReader::new(file), &name, max_events) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot parse {path}: {e}")),
+        };
+    eprintln!("imported {trace} ({skipped} unparsable lines skipped)");
+    let out_file = match File::create(&out) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot create {out}: {e}")),
+    };
+    if let Err(e) = trace.to_jsonl(BufWriter::new(out_file)) {
+        return fail(&format!("write failed: {e}"));
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Trace::from_jsonl(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn stats(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        return fail("stats needs a trace file");
+    };
+    let trace = match load_trace(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let s = TraceStats::compute(&trace);
+    println!("{trace}");
+    println!("  unique blocks:   {}", s.unique_blocks);
+    println!("  write fraction:  {:.1}%", s.write_fraction() * 100.0);
+    println!(
+        "  hot-25% share:   {:.1}% of accesses",
+        s.hot_access_share(0.25) * 100.0
+    );
+    let (hot, all) = s.writes_per_block(0.25);
+    println!("  writes/block:    hot {:.2} vs all {:.2}", hot, all);
+    println!(
+        "  cache for top-25%: {:.1} MB",
+        s.top_blocks(0.25).len() as f64 * 4096.0 / (1024.0 * 1024.0)
+    );
+    ExitCode::SUCCESS
+}
+
+fn replay_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        return fail("replay needs a trace file");
+    };
+    let trace = match load_trace(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let Some(kind) = arg_value(args, "--system") else {
+        return fail("replay needs --system");
+    };
+    let tstats = TraceStats::compute(&trace);
+    let default_cache_blocks = (tstats.unique_blocks / 4).max(1024);
+    let cache_blocks = arg_value(args, "--cache-mb")
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(|mb| mb * 256) // 4 KB blocks per MB
+        .unwrap_or(default_cache_blocks);
+    let consistency = match arg_value(args, "--consistency").as_deref() {
+        None | Some("full") => ConsistencyMode::CleanAndDirty,
+        Some("dirty") => ConsistencyMode::DirtyOnly,
+        Some("none") => ConsistencyMode::None,
+        Some(other) => return fail(&format!("unknown consistency '{other}'")),
+    };
+    let warmup: f64 = arg_value(args, "--warmup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let ssc_r = args.iter().any(|a| a == "--ssc-r");
+
+    let raw_flash =
+        FlashConfig::with_capacity_bytes((cache_blocks * 4096) as f64 as u64 * 100 / 84);
+    let disk_config = DiskConfig {
+        capacity_blocks: trace.range_blocks.max(1),
+        ..DiskConfig::paper_default()
+    };
+    let disk = Disk::new(disk_config, DiskDataMode::Discard);
+    let ssc_config = if ssc_r {
+        SscConfig::ssc_r(raw_flash)
+    } else {
+        SscConfig::ssc(raw_flash)
+    }
+    .with_consistency(consistency)
+    .with_data_mode(DataMode::Discard);
+
+    let mut system: Box<dyn CacheSystem> = match kind.as_str() {
+        "flashtier-wt" => Box::new(FlashTierWt::new(Ssc::new(ssc_config), disk)),
+        "flashtier-wb" => Box::new(FlashTierWb::new(Ssc::new(ssc_config), disk)),
+        "native-wt" | "native-wb" => {
+            let ssd = HybridFtl::new(SsdConfig::paper_default(raw_flash), DataMode::Discard);
+            let mode = if kind == "native-wb" {
+                NativeMode::WriteBack
+            } else {
+                NativeMode::WriteThrough
+            };
+            let durability = match (mode, consistency) {
+                (NativeMode::WriteBack, ConsistencyMode::None) => NativeConsistency::None,
+                (NativeMode::WriteBack, _) => NativeConsistency::Durable,
+                _ => NativeConsistency::None,
+            };
+            Box::new(NativeCache::new(ssd, disk, mode, durability))
+        }
+        other => return fail(&format!("unknown system '{other}'")),
+    };
+
+    eprintln!(
+        "replaying {} against {} (cache {} blocks, warmup {:.0}%)",
+        trace.name,
+        system.name(),
+        cache_blocks,
+        warmup * 100.0
+    );
+    if let Err(e) = replay(system.as_mut(), trace.prefix(warmup)) {
+        return fail(&format!("warmup failed: {e}"));
+    }
+    let result = match replay(system.as_mut(), trace.suffix(warmup)) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("replay failed: {e}")),
+    };
+    println!("system:          {}", system.name());
+    println!("ops replayed:    {}", result.ops);
+    println!("simulated time:  {}", result.sim_time);
+    println!("throughput:      {:.0} IOPS", result.iops());
+    println!("mean response:   {:.1} us", result.response_us.mean());
+    println!(
+        "p99-ish max:     {:.0} us",
+        result.response_us.max().unwrap_or(0.0)
+    );
+    println!(
+        "read miss rate:  {:.1}%",
+        result.counters.miss_rate() * 100.0
+    );
+    println!("writebacks:      {}", result.counters.writebacks);
+    println!(
+        "host metadata:   {:.2} MB, device metadata: {:.2} MB",
+        system.host_memory().modeled_bytes as f64 / (1 << 20) as f64,
+        system.device_memory().modeled_bytes as f64 / (1 << 20) as f64
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,13 @@
+//! FlashTier umbrella crate: re-exports every workspace component.
+//!
+//! See the individual crates for detail; this crate exists so examples and
+//! integration tests can use one coherent `flashtier::` namespace.
+
+pub use cachemgr;
+pub use disksim;
+pub use flashsim;
+pub use flashtier_core as ssc;
+pub use ftl;
+pub use simkit;
+pub use sparsemap;
+pub use trace;

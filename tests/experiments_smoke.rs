@@ -1,0 +1,166 @@
+//! Smoke tests over the full experiment pipeline at extreme shrink: every
+//! table/figure function must produce structurally sound results, and the
+//! robust qualitative claims must hold even at tiny scale.
+
+use flashtier_bench::experiments::*;
+
+/// Extreme shrink multiplier: experiments finish in a few seconds total.
+const TINY: f64 = 25.0;
+
+#[test]
+fn fig3_all_systems_produce_throughput() {
+    let rows = fig3_performance(TINY * 2.0);
+    assert_eq!(rows.len(), 4);
+    for r in &rows {
+        assert!(r.native_wb > 0.0, "{} native", r.workload);
+        for (label, pct) in r.percents() {
+            assert!(pct > 10.0, "{} {label} collapsed: {pct}%", r.workload);
+        }
+    }
+    // Write-back FlashTier must beat native write-back on the most
+    // write-intensive workload even at tiny scale.
+    let homes = &rows[0];
+    assert!(
+        homes.ssc_r_wb > homes.native_wb,
+        "SSC-R WB should win on homes: {} vs {}",
+        homes.ssc_r_wb,
+        homes.native_wb
+    );
+}
+
+#[test]
+fn fig4_consistency_costs_are_bounded_percentages() {
+    let rows = fig4_consistency(TINY * 2.0);
+    assert_eq!(rows.len(), 4);
+    for r in &rows {
+        for pct in [r.native_d_pct, r.flashtier_d_pct, r.flashtier_cd_pct] {
+            assert!((20.0..=115.0).contains(&pct), "{}: {pct}%", r.workload);
+        }
+        // Consistency can only slow the same architecture down (with a
+        // little measurement slack).
+        assert!(r.flashtier_d_pct <= 110.0);
+    }
+}
+
+#[test]
+fn fig5_recovery_orderings() {
+    let rows = fig5_recovery(TINY * 2.0);
+    for r in &rows {
+        // Measured recovery is fast and nonzero; the ordering claims are
+        // checked on the full-scale model (page-rounding floors distort
+        // toy-sized measured caches).
+        assert!(r.flashtier_measured.as_micros() > 0, "{}", r.workload);
+        assert!(
+            r.native_measured[0] < r.native_measured[1],
+            "{}",
+            r.workload
+        );
+        assert!(r.full_scale[0] < r.full_scale[1], "{}", r.workload);
+        assert!(r.full_scale[1] < r.full_scale[2], "{}", r.workload);
+    }
+    // Bigger caches take longer to recover.
+    assert!(rows[3].full_scale[0] > rows[0].full_scale[0]);
+}
+
+#[test]
+fn gc_experiment_wear_shape() {
+    let rows = gc_experiment(TINY * 2.0);
+    for r in &rows {
+        for d in &r.devices {
+            assert!(d.iops > 0.0, "{} {}", r.workload, d.device);
+            assert!(
+                d.write_amp >= 1.0,
+                "{} {} WA {}",
+                r.workload,
+                d.device,
+                d.write_amp
+            );
+            assert!((0.0..=100.0).contains(&d.miss_rate_pct));
+        }
+        // SSC-R never amplifies more than SSC (more log blocks, fewer
+        // full merges).
+        assert!(
+            r.devices[2].write_amp <= r.devices[1].write_amp + 0.3,
+            "{}: SSC-R {} vs SSC {}",
+            r.workload,
+            r.devices[2].write_amp,
+            r.devices[1].write_amp
+        );
+    }
+    // On the most write-intensive workload the SSC devices erase less.
+    let homes = &rows[0];
+    assert!(
+        homes.devices[2].erases < homes.devices[0].erases,
+        "SSC-R erases less than SSD"
+    );
+}
+
+#[test]
+fn table4_memory_orderings() {
+    let rows = table4_memory(TINY * 4.0);
+    assert_eq!(rows.len(), 5, "four workloads + proj-50");
+    for r in &rows {
+        // SSC-R needs more device memory than SSC (reserved page mappings).
+        assert!(r.device_full[2] > r.device_full[1], "{}", r.workload);
+        assert!(
+            r.device_measured[2] > r.device_measured[1],
+            "{}",
+            r.workload
+        );
+        // FlashTier host memory is far below native.
+        assert!(r.host_full[1] * 4 < r.host_full[0], "{}", r.workload);
+        assert!(r.host_measured[1] < r.host_measured[0], "{}", r.workload);
+    }
+    // proj-50 doubles proj's cache and memory.
+    let proj = &rows[3];
+    let proj50 = &rows[4];
+    assert!(proj50.cache_bytes_full > proj.cache_bytes_full * 19 / 10);
+}
+
+#[test]
+fn fig1_density_is_heavy_tailed() {
+    let rows = fig1_density(TINY);
+    for r in &rows {
+        assert!(r.regions > 0);
+        assert!(
+            r.under_1pct + r.over_10pct <= 1.0 + 1e-9,
+            "{}: fractions overlap",
+            r.workload
+        );
+        // With enough regions the distribution spans orders of magnitude:
+        // some regions nearly empty, some dense. (At extreme shrink a
+        // workload can collapse into a single region.)
+        if r.regions >= 8 {
+            let first = r.cdf.first().unwrap().0;
+            let last = r.cdf.last().unwrap().0;
+            assert!(
+                last / first.max(1.0) >= 10.0,
+                "{}: span {first}..{last}",
+                r.workload
+            );
+        }
+    }
+}
+
+#[test]
+fn table3_statistics_track_specs() {
+    // Write mixes drift at extreme shrink (few runs to partition), so use
+    // a moderate shrink and generous bands.
+    let rows = table3_workloads(4.0);
+    let write_fracs: Vec<f64> = rows.iter().map(|r| r.write_fraction).collect();
+    assert!(
+        write_fracs[0] > 0.85,
+        "homes write-heavy: {}",
+        write_fracs[0]
+    );
+    assert!(write_fracs[1] > 0.8, "mail write-heavy: {}", write_fracs[1]);
+    assert!(write_fracs[2] < 0.15, "usr read-heavy: {}", write_fracs[2]);
+    assert!(write_fracs[3] < 0.25, "proj read-heavy: {}", write_fracs[3]);
+    for r in &rows {
+        assert!(
+            r.hot_writes_ratio >= 1.0,
+            "{}: hot blocks written at least as often",
+            r.workload
+        );
+    }
+}
