@@ -2,8 +2,8 @@
 //! throughput on the SSD (copy-based merges), the SSC (silent eviction) and
 //! the SSC-R (silent eviction + bigger log), in host CPU terms.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use flashsim::{DataMode, FlashConfig};
+use flashtier_bench::microbench::Group;
 use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
 use ftl::{BlockDev, HybridFtl, SsdConfig};
 use simkit::SimRng;
@@ -19,59 +19,49 @@ fn churn_lbas(span: u64) -> Vec<u64> {
         .collect()
 }
 
-fn bench_gc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gc-churn");
+fn main() {
+    let mut group = Group::new("gc-churn");
     group.sample_size(10);
 
-    group.bench_function("ssd-hybrid", |b| {
-        let page = vec![0u8; 4096];
-        b.iter_batched(
-            || {
-                let config =
-                    SsdConfig::paper_default(FlashConfig::with_capacity_bytes(DEVICE_BYTES));
-                let ssd = HybridFtl::new(config, DataMode::Discard);
-                let lbas = churn_lbas(ssd.capacity_pages());
-                (ssd, lbas)
-            },
-            |(mut ssd, lbas)| {
-                for &lba in &lbas {
-                    ssd.write(lba, &page).unwrap();
-                }
-                ssd
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    let page = vec![0u8; 4096];
+    group.bench_batched(
+        "ssd-hybrid",
+        || {
+            let config = SsdConfig::paper_default(FlashConfig::with_capacity_bytes(DEVICE_BYTES));
+            let ssd = HybridFtl::new(config, DataMode::Discard);
+            let lbas = churn_lbas(ssd.capacity_pages());
+            (ssd, lbas)
+        },
+        |(mut ssd, lbas)| {
+            for &lba in &lbas {
+                ssd.write(lba, &page).unwrap();
+            }
+            ssd
+        },
+    );
 
     for (label, ssc_r) in [("ssc-se-util", false), ("ssc-r-se-merge", true)] {
-        group.bench_function(label, |b| {
-            let page = vec![0u8; 4096];
-            b.iter_batched(
-                || {
-                    let flash = FlashConfig::with_capacity_bytes(DEVICE_BYTES);
-                    let config = if ssc_r {
-                        SscConfig::ssc_r(flash)
-                    } else {
-                        SscConfig::ssc(flash)
-                    }
-                    .with_data_mode(DataMode::Discard)
-                    .with_consistency(ConsistencyMode::None);
-                    let ssc = Ssc::new(config);
-                    let lbas = churn_lbas(ssc.data_capacity_pages());
-                    (ssc, lbas)
-                },
-                |(mut ssc, lbas)| {
-                    for &lba in &lbas {
-                        ssc.write_clean(lba, &page).unwrap();
-                    }
-                    ssc
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_batched(
+            label,
+            || {
+                let flash = FlashConfig::with_capacity_bytes(DEVICE_BYTES);
+                let config = if ssc_r {
+                    SscConfig::ssc_r(flash)
+                } else {
+                    SscConfig::ssc(flash)
+                }
+                .with_data_mode(DataMode::Discard)
+                .with_consistency(ConsistencyMode::None);
+                let ssc = Ssc::new(config);
+                let lbas = churn_lbas(ssc.data_capacity_pages());
+                (ssc, lbas)
+            },
+            |(mut ssc, lbas)| {
+                for &lba in &lbas {
+                    ssc.write_clean(lba, &page).unwrap();
+                }
+                ssc
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gc);
-criterion_main!(benches);

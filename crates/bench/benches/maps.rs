@@ -7,7 +7,7 @@
 //! However, these latencies are much smaller than the bus control and data
 //! delays and thus have little impact."
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flashtier_bench::microbench::Group;
 use simkit::SimRng;
 use sparsemap::{DenseMap, SparseHashMap};
 use std::hint::black_box;
@@ -36,87 +36,67 @@ fn filled_dense(keys: &[u64]) -> DenseMap<u64> {
     m
 }
 
-fn bench_maps(c: &mut Criterion) {
+fn main() {
     let keys = sparse_keys();
-    let mut group = c.benchmark_group("map-ops");
+    let mut group = Group::new("map-ops");
     group.sample_size(20);
 
-    group.bench_function("sparse-insert", |b| {
-        b.iter_batched(
-            SparseHashMap::<u64>::new,
-            |mut m| {
-                for &k in &keys {
-                    m.insert(k, 1);
-                }
-                m
-            },
-            BatchSize::LargeInput,
-        )
+    group.bench_batched("sparse-insert", SparseHashMap::<u64>::new, |mut m| {
+        for &k in &keys {
+            m.insert(k, 1);
+        }
+        m
     });
-    group.bench_function("dense-insert", |b| {
-        b.iter_batched(
-            || DenseMap::<u64>::new(SPAN as usize),
-            |mut m| {
-                for &k in &keys {
-                    m.insert(k, 1).unwrap();
-                }
-                m
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_batched(
+        "dense-insert",
+        || DenseMap::<u64>::new(SPAN as usize),
+        |mut m| {
+            for &k in &keys {
+                m.insert(k, 1).unwrap();
+            }
+            m
+        },
+    );
 
     let sparse = filled_sparse(&keys);
     let dense = filled_dense(&keys);
-    group.bench_function("sparse-lookup", |b| {
-        b.iter(|| {
-            let mut hits = 0u64;
-            for &k in &keys {
-                if sparse.get(black_box(k)).is_some() {
-                    hits += 1;
-                }
+    group.bench("sparse-lookup", || {
+        let mut hits = 0u64;
+        for &k in &keys {
+            if sparse.get(black_box(k)).is_some() {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
-    group.bench_function("dense-lookup", |b| {
-        b.iter(|| {
-            let mut hits = 0u64;
-            for &k in &keys {
-                if dense.get(black_box(k)).is_some() {
-                    hits += 1;
-                }
+    group.bench("dense-lookup", || {
+        let mut hits = 0u64;
+        for &k in &keys {
+            if dense.get(black_box(k)).is_some() {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
 
-    group.bench_function("sparse-remove", |b| {
-        b.iter_batched(
-            || filled_sparse(&keys),
-            |mut m| {
-                for &k in &keys {
-                    m.remove(k);
-                }
-                m
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("dense-remove", |b| {
-        b.iter_batched(
-            || filled_dense(&keys),
-            |mut m| {
-                for &k in &keys {
-                    m.remove(k);
-                }
-                m
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    group.bench_batched(
+        "sparse-remove",
+        || filled_sparse(&keys),
+        |mut m| {
+            for &k in &keys {
+                m.remove(k);
+            }
+            m
+        },
+    );
+    group.bench_batched(
+        "dense-remove",
+        || filled_dense(&keys),
+        |mut m| {
+            for &k in &keys {
+                m.remove(k);
+            }
+            m
+        },
+    );
 }
-
-criterion_group!(benches, bench_maps);
-criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! the simulated device consumes per operation (the simulator's own
 //! overhead, not simulated time).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use flashsim::{DataMode, FlashConfig};
+use flashtier_bench::microbench::Group;
 use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
 
 fn device() -> Ssc {
@@ -23,50 +23,46 @@ fn warm_device(blocks: u64) -> (Ssc, Vec<u8>) {
     (ssc, page)
 }
 
-fn bench_ssc_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ssc-ops");
+fn main() {
+    let mut group = Group::new("ssc-ops");
     group.sample_size(20);
 
-    group.bench_function("write-clean", |b| {
-        b.iter_batched(
-            || warm_device(1024),
-            |(mut ssc, page)| {
-                for lba in 0..2048u64 {
-                    ssc.write_clean(lba * 7, &page).unwrap();
-                }
-                ssc
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_batched(
+        "write-clean",
+        || warm_device(1024),
+        |(mut ssc, page)| {
+            for lba in 0..2048u64 {
+                ssc.write_clean(lba * 7, &page).unwrap();
+            }
+            ssc
+        },
+    );
 
-    group.bench_function("write-dirty", |b| {
-        b.iter_batched(
-            || warm_device(1024),
-            |(mut ssc, page)| {
-                for lba in 0..2048u64 {
-                    ssc.write_dirty(lba % 4096, &page).unwrap();
-                }
-                ssc
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_batched(
+        "write-dirty",
+        || warm_device(1024),
+        |(mut ssc, page)| {
+            for lba in 0..2048u64 {
+                ssc.write_dirty(lba % 4096, &page).unwrap();
+            }
+            ssc
+        },
+    );
 
-    group.bench_function("read-hit", |b| {
+    {
         let (mut ssc, _) = warm_device(4096);
-        b.iter(|| {
+        group.bench("read-hit", || {
             let mut total = 0u64;
             for lba in 0..4096u64 {
                 total += ssc.read(lba).unwrap().1.as_micros();
             }
             total
-        })
-    });
+        });
+    }
 
-    group.bench_function("read-miss", |b| {
+    {
         let (mut ssc, _) = warm_device(64);
-        b.iter(|| {
+        group.bench("read-miss", || {
             let mut misses = 0u64;
             for lba in (1 << 30)..(1 << 30) + 4096u64 {
                 if ssc.read(lba).is_err() {
@@ -74,42 +70,33 @@ fn bench_ssc_ops(c: &mut Criterion) {
                 }
             }
             misses
-        })
-    });
+        });
+    }
 
-    group.bench_function("clean-and-exists", |b| {
-        b.iter_batched(
-            || {
-                let (mut ssc, page) = warm_device(16);
-                for lba in 0..1024u64 {
-                    ssc.write_dirty(lba, &page).unwrap();
-                }
-                ssc
-            },
-            |mut ssc| {
-                for lba in 0..1024u64 {
-                    ssc.clean(lba).unwrap();
-                }
-                ssc.exists(0, 1 << 20)
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_batched(
+        "clean-and-exists",
+        || {
+            let (mut ssc, page) = warm_device(16);
+            for lba in 0..1024u64 {
+                ssc.write_dirty(lba, &page).unwrap();
+            }
+            ssc
+        },
+        |mut ssc| {
+            for lba in 0..1024u64 {
+                ssc.clean(lba).unwrap();
+            }
+            ssc.exists(0, 1 << 20)
+        },
+    );
 
-    group.bench_function("crash-recover", |b| {
-        b.iter_batched(
-            || warm_device(4096).0,
-            |mut ssc| {
-                ssc.crash();
-                ssc.recover().unwrap();
-                ssc
-            },
-            BatchSize::LargeInput,
-        )
-    });
-
-    group.finish();
+    group.bench_batched(
+        "crash-recover",
+        || warm_device(4096).0,
+        |mut ssc| {
+            ssc.crash();
+            ssc.recover().unwrap();
+            ssc
+        },
+    );
 }
-
-criterion_group!(benches, bench_ssc_ops);
-criterion_main!(benches);

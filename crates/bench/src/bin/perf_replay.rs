@@ -1,0 +1,176 @@
+//! Wall-clock replay-throughput gate: replays a deterministic Zipf workload
+//! through all four cache systems in `Discard` mode and prints one JSON
+//! line with events/sec and wall-clock seconds per system.
+//!
+//! This measures *host* CPU cost of the simulator itself (the quantity the
+//! allocation-free data path optimizes), not simulated device time. Run
+//! with `--events N` to size the workload (default 1,000,000).
+
+use std::time::Instant;
+
+use cachemgr::{
+    replay, write_payload_into, ByteFacade, CacheSystem, FlashTierWb, FlashTierWt, NativeCache,
+    NativeConsistency, NativeMode, PageBuf,
+};
+use disksim::{Disk, DiskConfig, DiskDataMode};
+use flashsim::{DataMode, FlashConfig};
+use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
+use ftl::{HybridFtl, SsdConfig};
+use trace::{generate, Trace, WorkloadSpec};
+
+/// Flash cache capacity: 64 MB = 16 Ki pages, ~25% of the unique blocks.
+const FLASH_BYTES: u64 = 64 << 20;
+
+fn zipf_workload(events: u64) -> Trace {
+    generate(&WorkloadSpec {
+        name: "zipf-replay".into(),
+        range_blocks: 1 << 20, // 4 GB volume
+        unique_blocks: 1 << 16,
+        total_ops: events,
+        write_fraction: 0.30,
+        zipf_theta: 0.99,
+        seq_run_prob: 0.20,
+        seq_run_len: 16,
+        seed: 0xBEAC_0001,
+    })
+}
+
+fn flash() -> FlashConfig {
+    FlashConfig::with_capacity_bytes(FLASH_BYTES)
+}
+
+fn disk(range: u64) -> Disk {
+    Disk::new(
+        DiskConfig {
+            capacity_blocks: range,
+            ..DiskConfig::paper_default()
+        },
+        DiskDataMode::Discard,
+    )
+}
+
+struct SystemResult {
+    name: &'static str,
+    wall_s: f64,
+    events_per_sec: f64,
+    sim_time_us: u64,
+}
+
+fn time_system<S: CacheSystem>(name: &'static str, mut system: S, t: &Trace) -> SystemResult {
+    let start = Instant::now();
+    let stats = replay(&mut system, &t.events).expect("replay");
+    let wall = start.elapsed().as_secs_f64();
+    SystemResult {
+        name,
+        wall_s: wall,
+        events_per_sec: stats.ops as f64 / wall,
+        sim_time_us: stats.sim_time.as_micros(),
+    }
+}
+
+/// The byte-level facade path: every event becomes a one-block byte span,
+/// exercising the span-assembly read path on top of the write-through
+/// manager.
+fn time_facade(t: &Trace) -> SystemResult {
+    let config = SscConfig::ssc(flash())
+        .with_data_mode(DataMode::Discard)
+        .with_consistency(ConsistencyMode::CleanAndDirty);
+    let inner = FlashTierWt::new(Ssc::new(config), disk(t.range_blocks));
+    let block = inner.block_size();
+    let mut facade = ByteFacade::new(inner);
+    let mut read_buf = PageBuf::with_capacity(block);
+    let mut payload_buf = PageBuf::with_capacity(block);
+    let mut sim_time_us = 0u64;
+    let start = Instant::now();
+    for (i, e) in t.events.iter().enumerate() {
+        let offset = e.lba * block as u64;
+        let cost = if e.is_write() {
+            write_payload_into(e.lba, i as u64, block, &mut payload_buf);
+            facade
+                .write_bytes(offset, &payload_buf)
+                .expect("facade write")
+        } else {
+            facade
+                .read_bytes_into(offset, block, &mut read_buf)
+                .expect("facade read")
+        };
+        sim_time_us += cost.as_micros();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    SystemResult {
+        name: "facade_wt",
+        wall_s: wall,
+        events_per_sec: t.events.len() as f64 / wall,
+        sim_time_us,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let events: u64 = args
+        .windows(2)
+        .find(|w| w[0] == "--events")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(1_000_000);
+
+    let t = zipf_workload(events);
+    let range = t.range_blocks;
+
+    let mut results = Vec::new();
+    results.push(time_system(
+        "flashtier_wt",
+        {
+            let config = SscConfig::ssc(flash())
+                .with_data_mode(DataMode::Discard)
+                .with_consistency(ConsistencyMode::CleanAndDirty);
+            FlashTierWt::new(Ssc::new(config), disk(range))
+        },
+        &t,
+    ));
+    results.push(time_system(
+        "flashtier_wb",
+        {
+            let config = SscConfig::ssc_r(flash())
+                .with_data_mode(DataMode::Discard)
+                .with_consistency(ConsistencyMode::DirtyOnly);
+            FlashTierWb::new(Ssc::new(config), disk(range))
+        },
+        &t,
+    ));
+    results.push(time_system(
+        "native_wb",
+        {
+            let ssd = HybridFtl::new(SsdConfig::paper_default(flash()), DataMode::Discard);
+            NativeCache::new(
+                ssd,
+                disk(range),
+                NativeMode::WriteBack,
+                NativeConsistency::Durable,
+            )
+        },
+        &t,
+    ));
+    results.push(time_facade(&t));
+
+    let total_wall: f64 = results.iter().map(|r| r.wall_s).sum();
+    let total_events_per_sec = (events as f64 * results.len() as f64) / total_wall;
+
+    // One JSON line, hand-assembled (the repo builds offline).
+    let mut json = format!(
+        "{{\"bench\":\"perf_replay\",\"workload\":\"zipf\",\"theta\":0.99,\
+         \"events\":{events},\"mode\":\"discard\",\"systems\":{{"
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\"{}\":{{\"wall_s\":{:.4},\"events_per_sec\":{:.0},\"sim_time_us\":{}}}",
+            r.name, r.wall_s, r.events_per_sec, r.sim_time_us
+        ));
+    }
+    json.push_str(&format!(
+        "}},\"total_wall_s\":{total_wall:.4},\"aggregate_events_per_sec\":{total_events_per_sec:.0}}}"
+    ));
+    println!("{json}");
+}

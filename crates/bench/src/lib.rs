@@ -16,6 +16,7 @@
 
 pub mod build;
 pub mod experiments;
+pub mod microbench;
 pub mod prelude;
 pub mod scaled;
 pub mod tablefmt;

@@ -1,0 +1,115 @@
+//! Self-contained micro-benchmark harness.
+//!
+//! The repo builds in offline environments, so the `benches/` targets use
+//! this small timer instead of an external harness. Each benchmark runs a
+//! fixed number of samples and prints min/median/mean wall-clock per
+//! sample; batched variants run an untimed setup before every sample so
+//! state-mutating routines always start fresh.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks, printed as `group/label  min  median  mean`.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// Creates a group; default 10 samples per benchmark.
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `routine` as-is; its result is kept alive via `black_box`.
+    pub fn bench<T>(&mut self, label: &str, mut routine: impl FnMut() -> T) {
+        let mut times = Vec::with_capacity(self.samples);
+        // One untimed warm-up pass.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        self.report(label, &times);
+    }
+
+    /// Runs `setup` untimed before each sample, then times `routine` on its
+    /// output.
+    pub fn bench_batched<S, T>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        let mut times = Vec::with_capacity(self.samples);
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        self.report(label, &times);
+    }
+
+    fn report(&self, label: &str, times: &[Duration]) {
+        let mut sorted: Vec<Duration> = times.to_vec();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{:<32} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            format!("{}/{label}", self.name),
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len(),
+        );
+    }
+}
+
+/// Formats a duration with a unit that keeps 3-4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} us", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_pick_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(900)), "900 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(250)), "250.0 us");
+        assert_eq!(fmt_duration(Duration::from_millis(42)), "42.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+
+    #[test]
+    fn group_runs_all_samples() {
+        let mut count = 0u32;
+        let mut g = Group::new("t");
+        g.sample_size(3).bench("noop", || count += 1);
+        assert_eq!(count, 4); // 1 warm-up + 3 samples
+    }
+}

@@ -8,7 +8,7 @@
 //! "complete portability for applications by operating at block layer"
 //! (§7).
 
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 
 use crate::system::CacheSystem;
 use crate::Result;
@@ -17,12 +17,17 @@ use crate::Result;
 #[derive(Debug)]
 pub struct ByteFacade<S: CacheSystem> {
     inner: S,
+    /// Reusable whole-block buffer for span assembly and read-modify-write.
+    block_buf: PageBuf,
 }
 
 impl<S: CacheSystem> ByteFacade<S> {
     /// Wraps a cache system.
     pub fn new(inner: S) -> Self {
-        ByteFacade { inner }
+        ByteFacade {
+            inner,
+            block_buf: PageBuf::new(),
+        }
     }
 
     /// The wrapped system.
@@ -45,6 +50,37 @@ impl<S: CacheSystem> ByteFacade<S> {
         self.inner.block_size()
     }
 
+    /// Reads `len` bytes starting at byte `offset` into the caller's buffer
+    /// (resized to `len`), returning the total simulated time. This is the
+    /// allocation-free primitive that [`ByteFacade::read_bytes`] wraps.
+    ///
+    /// # Errors
+    ///
+    /// Device failures from the underlying system.
+    pub fn read_bytes_into(
+        &mut self,
+        offset: u64,
+        len: usize,
+        out: &mut PageBuf,
+    ) -> Result<Duration> {
+        let bs = self.inner.block_size() as u64;
+        out.prepare(len);
+        let mut cost = Duration::ZERO;
+        let mut pos = offset;
+        let end = offset + len as u64;
+        let mut filled = 0usize;
+        while pos < end {
+            let lba = pos / bs;
+            let in_block = (pos % bs) as usize;
+            let take = ((bs as usize) - in_block).min((end - pos) as usize);
+            cost += self.inner.read_into(lba, &mut self.block_buf)?;
+            out[filled..filled + take].copy_from_slice(&self.block_buf[in_block..in_block + take]);
+            filled += take;
+            pos += take as u64;
+        }
+        Ok(cost)
+    }
+
     /// Reads `len` bytes starting at byte `offset`, returning the data and
     /// total simulated time.
     ///
@@ -52,21 +88,9 @@ impl<S: CacheSystem> ByteFacade<S> {
     ///
     /// Device failures from the underlying system.
     pub fn read_bytes(&mut self, offset: u64, len: usize) -> Result<(Vec<u8>, Duration)> {
-        let bs = self.block_size() as u64;
-        let mut out = Vec::with_capacity(len);
-        let mut cost = Duration::ZERO;
-        let mut pos = offset;
-        let end = offset + len as u64;
-        while pos < end {
-            let lba = pos / bs;
-            let in_block = (pos % bs) as usize;
-            let take = ((bs as usize) - in_block).min((end - pos) as usize);
-            let (block, c) = self.inner.read(lba)?;
-            cost += c;
-            out.extend_from_slice(&block[in_block..in_block + take]);
-            pos += take as u64;
-        }
-        Ok((out, cost))
+        let mut out = PageBuf::with_capacity(len);
+        let cost = self.read_bytes_into(offset, len, &mut out)?;
+        Ok((out.into_vec(), cost))
     }
 
     /// Writes `data` starting at byte `offset`. Partial head/tail blocks are
@@ -88,11 +112,10 @@ impl<S: CacheSystem> ByteFacade<S> {
                 // Whole-block write: no read needed.
                 cost += self.inner.write(lba, &remaining[..take])?;
             } else {
-                // Partial block: read-modify-write.
-                let (mut block, rcost) = self.inner.read(lba)?;
-                cost += rcost;
-                block[in_block..in_block + take].copy_from_slice(&remaining[..take]);
-                cost += self.inner.write(lba, &block)?;
+                // Partial block: read-modify-write through the scratch block.
+                cost += self.inner.read_into(lba, &mut self.block_buf)?;
+                self.block_buf[in_block..in_block + take].copy_from_slice(&remaining[..take]);
+                cost += self.inner.write(lba, &self.block_buf)?;
             }
             pos += take as u64;
             remaining = &remaining[take..];

@@ -10,7 +10,7 @@
 
 use disksim::Disk;
 use flashtier_core::{Ssc, SscError};
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 use sparsemap::MapMemory;
 
 use crate::dirty_table::DirtyTable;
@@ -20,6 +20,9 @@ use crate::Result;
 
 /// Longest contiguous dirty run merged into one disk write.
 const CLEAN_RUN_MAX: usize = 64;
+
+// The cleaner tracks run membership in a u64 bitmask.
+const _: () = assert!(CLEAN_RUN_MAX <= 64);
 
 /// What the write-back manager does with a block after writing it back to
 /// disk.
@@ -52,6 +55,10 @@ pub struct FlashTierWb {
     dirty_low: usize,
     destage: DestagePolicy,
     counters: MgrCounters,
+    /// Reusable concatenated-run buffer for the cleaner.
+    gather_buf: PageBuf,
+    /// Reusable single-block buffer for the cleaner's SSC reads.
+    block_buf: PageBuf,
 }
 
 impl FlashTierWb {
@@ -86,6 +93,8 @@ impl FlashTierWb {
             dirty_low: (dirty_limit * 4 / 5).max(1),
             destage: DestagePolicy::Clean,
             counters: MgrCounters::default(),
+            gather_buf: PageBuf::new(),
+            block_buf: PageBuf::new(),
         }
     }
 
@@ -125,34 +134,37 @@ impl FlashTierWb {
     /// watermark, returning the simulated time consumed.
     fn clean_down_to(&mut self, target: usize) -> Result<Duration> {
         let mut cost = Duration::ZERO;
+        let bs = self.ssc.page_size();
         while self.dirty.len() > target {
             let run = self.dirty.lru_run(CLEAN_RUN_MAX);
             if run.is_empty() {
                 break;
             }
-            // Gather the data for the whole run, then write it to disk as
-            // one positioned transfer.
-            let mut blocks = Vec::with_capacity(run.len());
-            for &lba in &run {
-                match self.ssc.read(lba) {
-                    Ok((data, rcost)) => {
+            // Gather the run's data into one concatenated buffer, then write
+            // it to disk as one positioned transfer.
+            self.gather_buf.prepare(run.len() * bs);
+            let mut present: u64 = 0;
+            for (i, &lba) in run.iter().enumerate() {
+                match self.ssc.read_into(lba, &mut self.block_buf) {
+                    Ok(rcost) => {
                         cost += rcost;
-                        blocks.push(Some(data));
+                        self.gather_buf[i * bs..(i + 1) * bs].copy_from_slice(&self.block_buf);
+                        present |= 1 << i;
                     }
                     // Defensive: the SSC never silently evicts dirty data,
                     // but a stale table entry just gets dropped.
-                    Err(SscError::NotPresent(_)) => blocks.push(None),
+                    Err(SscError::NotPresent(_)) => {}
                     Err(e) => return Err(e.into()),
                 }
             }
-            let start = run[0];
-            let present: Vec<&[u8]> = blocks.iter().flatten().map(|d| d.as_slice()).collect();
-            if !present.is_empty() && present.len() == run.len() {
-                cost += self.disk.write_run(start, &present)?;
+            if present.count_ones() as usize == run.len() {
+                cost += self.disk.write_run_concat(run[0], &self.gather_buf)?;
             } else {
-                for (i, data) in blocks.iter().enumerate() {
-                    if let Some(data) = data {
-                        cost += self.disk.write(run[i], data)?;
+                for (i, &lba) in run.iter().enumerate() {
+                    if present & (1 << i) != 0 {
+                        cost += self
+                            .disk
+                            .write(lba, &self.gather_buf[i * bs..(i + 1) * bs])?;
                     }
                 }
             }
@@ -195,20 +207,20 @@ impl FlashTierWb {
 }
 
 impl CacheSystem for FlashTierWb {
-    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+    fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.counters.reads += 1;
-        match self.ssc.read(lba) {
-            Ok((data, cost)) => {
+        match self.ssc.read_into(lba, buf) {
+            Ok(cost) => {
                 self.counters.read_hits += 1;
                 if self.dirty.contains(lba) {
                     self.dirty.touch(lba);
                 }
-                Ok((data, cost))
+                Ok(cost)
             }
             Err(SscError::NotPresent(_)) => {
                 self.counters.read_misses += 1;
-                let (data, disk_cost) = self.disk.read(lba)?;
-                let fill_cost = match self.ssc.write_clean(lba, &data) {
+                let disk_cost = self.disk.read_into(lba, buf)?;
+                let fill_cost = match self.ssc.write_clean(lba, buf) {
                     Ok(c) => c,
                     Err(SscError::OutOfSpace) => {
                         // Scattered dirty pages can pin every erase block;
@@ -217,12 +229,12 @@ impl CacheSystem for FlashTierWb {
                         cleaned
                             + self
                                 .ssc
-                                .write_clean(lba, &data)
+                                .write_clean(lba, buf)
                                 .unwrap_or(simkit::Duration::ZERO)
                     }
                     Err(e) => return Err(e.into()),
                 };
-                Ok((data, disk_cost + fill_cost))
+                Ok(disk_cost + fill_cost)
             }
             Err(e) => Err(e.into()),
         }

@@ -10,7 +10,7 @@
 
 use disksim::Disk;
 use flashtier_core::{Ssc, SscError};
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 use sparsemap::MapMemory;
 
 use crate::bloom::BloomFilter;
@@ -118,41 +118,42 @@ impl FlashTierWt {
     }
 }
 
+impl FlashTierWt {
+    /// Disk fetch + cache fill shared by the miss and Bloom-skip paths; the
+    /// fetched block ends up in `buf`.
+    fn fetch_and_fill(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
+        let disk_cost = self.disk.read_into(lba, buf)?;
+        // Populate the cache with the fetched block; a cache that cannot
+        // make space right now simply skips the fill.
+        let fill_cost = match self.ssc.write_clean(lba, buf) {
+            Ok(c) => c,
+            Err(SscError::OutOfSpace) => Duration::ZERO,
+            Err(e) => return Err(e.into()),
+        };
+        self.bloom_note_insert(lba);
+        Ok(disk_cost + fill_cost)
+    }
+}
+
 impl CacheSystem for FlashTierWt {
-    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+    fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.counters.reads += 1;
         if let Some(filter) = &self.bloom {
             if !filter.may_contain(lba) {
                 // Definitively never cached: skip the device round-trip.
                 self.counters.bloom_skips += 1;
                 self.counters.read_misses += 1;
-                let (data, disk_cost) = self.disk.read(lba)?;
-                let fill_cost = match self.ssc.write_clean(lba, &data) {
-                    Ok(c) => c,
-                    Err(SscError::OutOfSpace) => Duration::ZERO,
-                    Err(e) => return Err(e.into()),
-                };
-                self.bloom_note_insert(lba);
-                return Ok((data, disk_cost + fill_cost));
+                return self.fetch_and_fill(lba, buf);
             }
         }
-        match self.ssc.read(lba) {
-            Ok((data, cost)) => {
+        match self.ssc.read_into(lba, buf) {
+            Ok(cost) => {
                 self.counters.read_hits += 1;
-                Ok((data, cost))
+                Ok(cost)
             }
             Err(SscError::NotPresent(_)) => {
                 self.counters.read_misses += 1;
-                let (data, disk_cost) = self.disk.read(lba)?;
-                // Populate the cache with the fetched block; a cache that
-                // cannot make space right now simply skips the fill.
-                let fill_cost = match self.ssc.write_clean(lba, &data) {
-                    Ok(c) => c,
-                    Err(SscError::OutOfSpace) => Duration::ZERO,
-                    Err(e) => return Err(e.into()),
-                };
-                self.bloom_note_insert(lba);
-                Ok((data, disk_cost + fill_cost))
+                self.fetch_and_fill(lba, buf)
             }
             Err(e) => Err(e.into()),
         }

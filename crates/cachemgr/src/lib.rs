@@ -39,7 +39,8 @@ pub use flashtier_wt::FlashTierWt;
 pub use lru::LruList;
 pub use metrics::MgrCounters;
 pub use native::{NativeCache, NativeConsistency, NativeMode};
-pub use system::{replay, CacheSystem, ReplayStats};
+pub use simkit::PageBuf;
+pub use system::{replay, write_payload, write_payload_into, CacheSystem, ReplayStats};
 
 /// Result alias for cache-manager operations.
 pub type Result<T> = std::result::Result<T, CmError>;

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use disksim::Disk;
 use ftl::BlockDev;
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 use sparsemap::MapMemory;
 
 use crate::lru::LruList;
@@ -75,6 +75,10 @@ pub struct NativeCache<D: BlockDev> {
     md_base: u64,
     md_entries_per_page: u64,
     counters: MgrCounters,
+    /// Reusable buffer for victim write-backs and cleaner reads.
+    victim_buf: PageBuf,
+    /// Reusable buffer for encoded metadata pages.
+    md_buf: PageBuf,
 }
 
 impl<D: BlockDev> NativeCache<D> {
@@ -103,6 +107,8 @@ impl<D: BlockDev> NativeCache<D> {
             md_base: slots,
             md_entries_per_page,
             counters: MgrCounters::default(),
+            victim_buf: PageBuf::new(),
+            md_buf: PageBuf::new(),
         }
     }
 
@@ -126,11 +132,11 @@ impl<D: BlockDev> NativeCache<D> {
         self.dirty_count
     }
 
-    /// Encodes the metadata page covering `slot`: 22-byte entries of
-    /// `[disk lba (8)] [flags (1)] [reserved (9)] [crc32 (4)]`, flags bit 0
-    /// = occupied, bit 1 = dirty.
-    fn encode_md_page(&self, page_index: u64) -> Vec<u8> {
-        let mut payload = vec![0u8; self.disk.block_size()];
+    /// Encodes the metadata page covering `slot` into `out`: 22-byte entries
+    /// of `[disk lba (8)] [flags (1)] [reserved (9)] [crc32 (4)]`, flags bit
+    /// 0 = occupied, bit 1 = dirty.
+    fn encode_md_page(&self, page_index: u64, out: &mut PageBuf) {
+        let payload = out.fill_with(self.disk.block_size(), 0);
         let first_slot = page_index * self.md_entries_per_page;
         for i in 0..self.md_entries_per_page {
             let slot = first_slot + i;
@@ -146,7 +152,6 @@ impl<D: BlockDev> NativeCache<D> {
             let crc = simkit::crc32(&entry[0..18]);
             entry[18..22].copy_from_slice(&crc.to_le_bytes());
         }
-        payload
     }
 
     /// Persists the metadata page covering `slot` to the SSD (a no-op
@@ -156,9 +161,12 @@ impl<D: BlockDev> NativeCache<D> {
             return Ok(Duration::ZERO);
         }
         let page_index = slot as u64 / self.md_entries_per_page;
-        let payload = self.encode_md_page(page_index);
+        let mut md_buf = std::mem::take(&mut self.md_buf);
+        self.encode_md_page(page_index, &mut md_buf);
         self.counters.metadata_writes += 1;
-        Ok(self.ssd.write(self.md_base + page_index, &payload)?)
+        let result = self.ssd.write(self.md_base + page_index, &md_buf);
+        self.md_buf = md_buf;
+        Ok(result?)
     }
 
     /// Simulates a crash followed by recovery of the manager's state from
@@ -256,9 +264,8 @@ impl<D: BlockDev> NativeCache<D> {
         let meta = self.meta[victim as usize].expect("victim in use");
         if meta.dirty {
             // Write the dirty victim back to disk first.
-            let (data, rcost) = self.ssd.read(victim as u64)?;
-            *cost += rcost;
-            *cost += self.disk.write(meta.lba, &data)?;
+            *cost += self.ssd.read_into(victim as u64, &mut self.victim_buf)?;
+            *cost += self.disk.write(meta.lba, &self.victim_buf)?;
             self.dirty_count -= 1;
             self.counters.writebacks += 1;
         }
@@ -301,9 +308,8 @@ impl<D: BlockDev> NativeCache<D> {
                 .find(|&s| self.meta[s as usize].is_some_and(|m| m.dirty));
             let Some(slot) = victim else { break };
             let lba = self.meta[slot as usize].expect("dirty slot in use").lba;
-            let (data, rcost) = self.ssd.read(slot as u64)?;
-            cost += rcost;
-            cost += self.disk.write(lba, &data)?;
+            cost += self.ssd.read_into(slot as u64, &mut self.victim_buf)?;
+            cost += self.disk.write(lba, &self.victim_buf)?;
             self.counters.writebacks += 1;
             cost += self.set_dirty(slot, false)?;
         }
@@ -330,18 +336,18 @@ impl<D: BlockDev> NativeCache<D> {
 }
 
 impl<D: BlockDev> CacheSystem for NativeCache<D> {
-    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+    fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.counters.reads += 1;
         if let Some(&slot) = self.table.get(&lba) {
             self.counters.read_hits += 1;
-            let (data, cost) = self.ssd.read(slot as u64)?;
+            let cost = self.ssd.read_into(slot as u64, buf)?;
             self.lru.touch(slot);
-            return Ok((data, cost));
+            return Ok(cost);
         }
         self.counters.read_misses += 1;
-        let (data, mut cost) = self.disk.read(lba)?;
-        self.install(lba, &data, false, &mut cost)?;
-        Ok((data, cost))
+        let mut cost = self.disk.read_into(lba, buf)?;
+        self.install(lba, buf, false, &mut cost)?;
+        Ok(cost)
     }
 
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {

@@ -1,6 +1,6 @@
 //! The cache-system trait and the trace replay driver.
 
-use simkit::{Duration, Histogram, Summary};
+use simkit::{Duration, Histogram, PageBuf, Summary};
 use sparsemap::MapMemory;
 use trace::TraceEvent;
 
@@ -10,13 +10,27 @@ use crate::Result;
 /// A complete caching system: a manager in front of a cache device and a
 /// disk. The replay harness drives any implementation uniformly.
 pub trait CacheSystem {
+    /// Handles one application read, filling the caller's buffer (resized to
+    /// one block) with the data and returning the simulated time until
+    /// completion. This is the allocation-free primitive the replay loop
+    /// drives; [`CacheSystem::read`] is a convenience wrapper over it.
+    ///
+    /// # Errors
+    ///
+    /// Device failures only; cache misses are handled internally.
+    fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration>;
+
     /// Handles one application read, returning the data and the simulated
     /// time until completion.
     ///
     /// # Errors
     ///
     /// Device failures only; cache misses are handled internally.
-    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)>;
+    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+        let mut buf = PageBuf::new();
+        let cost = self.read_into(lba, &mut buf)?;
+        Ok((buf.into_vec(), cost))
+    }
 
     /// Handles one application write.
     ///
@@ -74,18 +88,30 @@ impl ReplayStats {
     }
 }
 
-/// Deterministic page content for a write event: derived from the LBA and a
-/// per-replay sequence number, so Store-mode verification is possible and
-/// Discard-mode runs are reproducible.
-pub fn write_payload(lba: u64, op_index: u64, block_size: usize) -> Vec<u8> {
+/// Deterministic page content for a write event, filled into the caller's
+/// buffer: derived from the LBA and a per-replay sequence number, so
+/// Store-mode verification is possible and Discard-mode runs are
+/// reproducible. [`write_payload`] is a convenience wrapper over this.
+pub fn write_payload_into(lba: u64, op_index: u64, block_size: usize, buf: &mut PageBuf) {
     let fill = (lba ^ op_index)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .to_le_bytes()[0];
-    vec![fill; block_size]
+    buf.fill_with(block_size, fill);
+}
+
+/// Deterministic page content for a write event as a fresh `Vec`.
+pub fn write_payload(lba: u64, op_index: u64, block_size: usize) -> Vec<u8> {
+    let mut buf = PageBuf::new();
+    write_payload_into(lba, op_index, block_size, &mut buf);
+    buf.into_vec()
 }
 
 /// Replays `events` against `system`, accumulating simulated time and
 /// response statistics.
+///
+/// The loop owns two scratch buffers — one for read data, one for write
+/// payloads — reused across every event, so steady-state replay performs no
+/// per-event heap allocation.
 ///
 /// # Errors
 ///
@@ -99,12 +125,14 @@ pub fn replay<S: CacheSystem + ?Sized>(
     let mut sim_time = Duration::ZERO;
     let mut response_us = Summary::new();
     let mut response_hist = Histogram::new();
+    let mut read_buf = PageBuf::with_capacity(block_size);
+    let mut payload_buf = PageBuf::with_capacity(block_size);
     for (i, event) in events.iter().enumerate() {
         let cost = if event.is_write() {
-            let data = write_payload(event.lba, i as u64, block_size);
-            system.write(event.lba, &data)?
+            write_payload_into(event.lba, i as u64, block_size, &mut payload_buf);
+            system.write(event.lba, &payload_buf)?
         } else {
-            system.read(event.lba)?.1
+            system.read_into(event.lba, &mut read_buf)?
         };
         sim_time += cost;
         response_us.add(cost.as_micros() as f64);

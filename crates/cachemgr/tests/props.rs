@@ -1,42 +1,50 @@
 //! Property tests for cache-manager data structures: the Bloom filter's
 //! one-sided error, the LRU list against a reference deque, and the dirty
 //! table against a reference ordered set.
+//!
+//! Cases come from the deterministic `simkit::SimRng`; failures reproduce
+//! by case number.
 
 use cachemgr::{BloomFilter, DirtyTable, LruList};
-use proptest::prelude::*;
-use std::collections::VecDeque;
+use simkit::SimRng;
+use std::collections::{HashSet, VecDeque};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn bloom_has_no_false_negatives(
-        keys in proptest::collection::hash_set(any::<u64>(), 1..500),
-        probes in proptest::collection::vec(any::<u64>(), 0..200),
-    ) {
+#[test]
+fn bloom_has_no_false_negatives() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from(0xB100_0000 ^ case);
+        let mut keys: HashSet<u64> = HashSet::new();
+        let target = 1 + rng.gen_range(499) as usize;
+        while keys.len() < target {
+            keys.insert(rng.next_u64());
+        }
+        let probes: Vec<u64> = (0..rng.gen_range(200)).map(|_| rng.next_u64()).collect();
         let mut filter = BloomFilter::for_capacity(keys.len() as u64, 0.01);
         for &k in &keys {
             filter.insert(k);
         }
         for &k in &keys {
-            prop_assert!(filter.may_contain(k), "false negative for {}", k);
+            assert!(filter.may_contain(k), "false negative for {}", k);
         }
         // Probes of non-members may return either answer; just exercise.
         for &p in &probes {
             let _ = filter.may_contain(p);
         }
-        prop_assert_eq!(filter.inserted(), keys.len() as u64);
+        assert_eq!(filter.inserted(), keys.len() as u64);
     }
+}
 
-    #[test]
-    fn lru_matches_reference_deque(
-        ops in proptest::collection::vec((0u32..32, 0u8..3), 1..400),
-    ) {
+#[test]
+fn lru_matches_reference_deque() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from(0xB100_1000 ^ case);
+        let n = 1 + rng.gen_range(399) as usize;
         let mut sut = LruList::new(32);
         // Reference: front = most recent.
         let mut reference: VecDeque<u32> = VecDeque::new();
-        for (slot, op) in ops {
-            match op {
+        for _ in 0..n {
+            let slot = rng.gen_range(32) as u32;
+            match rng.gen_range(3) {
                 0 => {
                     // touch (links if missing)
                     sut.touch(slot);
@@ -48,63 +56,72 @@ proptest! {
                     reference.retain(|&s| s != slot);
                 }
                 _ => {
-                    prop_assert_eq!(sut.pop_back(), reference.pop_back());
+                    assert_eq!(sut.pop_back(), reference.pop_back());
                 }
             }
-            prop_assert_eq!(sut.len(), reference.len());
-            prop_assert_eq!(sut.back(), reference.back().copied());
+            assert_eq!(sut.len(), reference.len());
+            assert_eq!(sut.back(), reference.back().copied());
         }
         // Full-order check.
         let order: Vec<u32> = sut.iter_lru().collect();
         let expect: Vec<u32> = reference.iter().rev().copied().collect();
-        prop_assert_eq!(order, expect);
+        assert_eq!(order, expect);
     }
+}
 
-    #[test]
-    fn dirty_table_matches_reference(
-        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..400),
-    ) {
+#[test]
+fn dirty_table_matches_reference() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from(0xB100_2000 ^ case);
+        let n = 1 + rng.gen_range(399) as usize;
         let mut sut = DirtyTable::new(64);
         let mut reference: VecDeque<u64> = VecDeque::new(); // front = MRU
-        for (lba, is_touch) in ops {
-            if is_touch {
-                prop_assert!(sut.touch(lba));
+        for _ in 0..n {
+            let lba = rng.gen_range(64);
+            if rng.gen_bool(0.5) {
+                assert!(sut.touch(lba));
                 reference.retain(|&l| l != lba);
                 reference.push_front(lba);
             } else {
                 let was_present = reference.iter().any(|&l| l == lba);
-                prop_assert_eq!(sut.remove(lba), was_present);
+                assert_eq!(sut.remove(lba), was_present);
                 reference.retain(|&l| l != lba);
             }
-            prop_assert_eq!(sut.len(), reference.len());
-            prop_assert_eq!(sut.lru_block(), reference.back().copied());
+            assert_eq!(sut.len(), reference.len());
+            assert_eq!(sut.lru_block(), reference.back().copied());
         }
         let mut all: Vec<u64> = sut.iter().collect();
         all.sort_unstable();
         let mut expect: Vec<u64> = reference.into_iter().collect();
         expect.sort_unstable();
-        prop_assert_eq!(all, expect);
+        assert_eq!(all, expect);
     }
+}
 
-    #[test]
-    fn dirty_table_lru_run_is_contiguous_and_contains_lru(
-        lbas in proptest::collection::hash_set(0u64..128, 1..64),
-        max_len in 1usize..16,
-    ) {
+#[test]
+fn dirty_table_lru_run_is_contiguous_and_contains_lru() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from(0xB100_3000 ^ case);
+        let mut lbas: HashSet<u64> = HashSet::new();
+        let target = 1 + rng.gen_range(63) as usize;
+        while lbas.len() < target {
+            lbas.insert(rng.gen_range(128));
+        }
+        let max_len = 1 + rng.gen_range(15) as usize;
         let mut table = DirtyTable::new(128);
         for &lba in &lbas {
             table.touch(lba);
         }
         let run = table.lru_run(max_len);
-        prop_assert!(!run.is_empty());
-        prop_assert!(run.len() <= max_len);
-        prop_assert!(run.contains(&table.lru_block().unwrap()));
+        assert!(!run.is_empty());
+        assert!(run.len() <= max_len);
+        assert!(run.contains(&table.lru_block().unwrap()));
         // Ascending and contiguous, all dirty.
         for w in run.windows(2) {
-            prop_assert_eq!(w[1], w[0] + 1);
+            assert_eq!(w[1], w[0] + 1);
         }
         for &lba in &run {
-            prop_assert!(table.contains(lba));
+            assert!(table.contains(lba));
         }
     }
 }
@@ -113,39 +130,35 @@ mod facade_props {
     use cachemgr::{ByteFacade, FlashTierWt};
     use disksim::{Disk, DiskConfig, DiskDataMode};
     use flashtier_core::{Ssc, SscConfig};
-    use proptest::prelude::*;
+    use simkit::SimRng;
 
     const SPAN_BYTES: usize = 16 * 512; // 16 blocks of 512 B
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn byte_facade_matches_flat_memory(
-            ops in proptest::collection::vec(
-                (0usize..SPAN_BYTES, 0usize..600, any::<bool>(), any::<u8>()),
-                1..60,
-            ),
-        ) {
+    #[test]
+    fn byte_facade_matches_flat_memory() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from(0xB100_4000 ^ case);
+            let n = 1 + rng.gen_range(59) as usize;
             let ssc = Ssc::new(SscConfig::small_test());
             let disk = Disk::new(DiskConfig::small_test(), DiskDataMode::Store);
             let mut facade = ByteFacade::new(FlashTierWt::new(ssc, disk));
             let mut shadow = vec![0u8; SPAN_BYTES];
-            for (offset, len, is_write, fill) in ops {
-                let len = len.min(SPAN_BYTES - offset);
-                if is_write {
-                    let data: Vec<u8> =
-                        (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+            for _ in 0..n {
+                let offset = rng.gen_range(SPAN_BYTES as u64) as usize;
+                let len = (rng.gen_range(600) as usize).min(SPAN_BYTES - offset);
+                let fill = rng.gen_range(256) as u8;
+                if rng.gen_bool(0.5) {
+                    let data: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
                     facade.write_bytes(offset as u64, &data).unwrap();
                     shadow[offset..offset + len].copy_from_slice(&data);
                 } else {
                     let (got, _) = facade.read_bytes(offset as u64, len).unwrap();
-                    prop_assert_eq!(&got[..], &shadow[offset..offset + len]);
+                    assert_eq!(&got[..], &shadow[offset..offset + len]);
                 }
             }
             // Final full-span sweep.
             let (all, _) = facade.read_bytes(0, SPAN_BYTES).unwrap();
-            prop_assert_eq!(all, shadow);
+            assert_eq!(all, shadow);
         }
     }
 }

@@ -4,7 +4,7 @@ use std::collections::{BTreeSet, VecDeque};
 
 use flashsim::{FlashCounters, FlashDevice, OobData, PageState, Pbn, Ppn, WearStats};
 use ftl::FreeBlockPool;
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 use sparsemap::{memory, MapMemory};
 
 use crate::checkpoint::CheckpointStore;
@@ -100,6 +100,12 @@ pub struct Ssc {
     /// orders them), so a "torn" power failure can no longer affect it.
     pub(crate) erases_at_last_flush: u64,
     pub(crate) counters: SscCounters,
+    /// Scratch buffers reused across merges and compactions so sustained GC
+    /// does not allocate: per-offset sources, the batch PPN list, and one
+    /// pre-zeroed page.
+    sources_scratch: Vec<Option<(Ppn, bool, bool)>>,
+    ppn_scratch: Vec<Ppn>,
+    zero_page: Box<[u8]>,
 }
 
 impl Ssc {
@@ -123,6 +129,9 @@ impl Ssc {
             pending_retire: Vec::new(),
             erases_at_last_flush: 0,
             counters: SscCounters::default(),
+            sources_scratch: Vec::new(),
+            ppn_scratch: Vec::new(),
+            zero_page: vec![0; page_size].into_boxed_slice(),
         }
     }
 
@@ -376,23 +385,34 @@ impl Ssc {
         Ok(cost)
     }
 
-    /// `read`: return the cached data for `lba`.
+    /// `read`: fill `buf` with the cached data for `lba` (resized to one
+    /// page). This is the allocation-free primitive that [`Ssc::read`]
+    /// wraps.
     ///
     /// # Errors
     ///
     /// [`SscError::NotPresent`] on a miss (the normal cache-miss signal).
-    pub fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+    pub fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.counters.host_reads += 1;
         match self.maps.lookup(lba) {
-            Some(resolved) => {
-                let (data, cost) = self.dev.read_page(resolved.ppn())?;
-                Ok((data, cost))
-            }
+            Some(resolved) => Ok(self.dev.read_page_into(resolved.ppn(), buf)?),
             None => {
                 self.counters.read_misses += 1;
                 Err(SscError::NotPresent(lba))
             }
         }
+    }
+
+    /// `read`: return the cached data for `lba`. Convenience wrapper over
+    /// [`Ssc::read_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ssc::read_into`].
+    pub fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+        let mut buf = PageBuf::new();
+        let cost = self.read_into(lba, &mut buf)?;
+        Ok((buf.into_vec(), cost))
     }
 
     /// `evict`: force `lba` out of the cache; a subsequent read returns
@@ -677,8 +697,9 @@ impl Ssc {
     /// log block (a log-structured copy-forward).
     fn compact_forward(&mut self, lba: u64, ptr: PagePtr) -> Result<Duration> {
         let mut cost = Duration::ZERO;
-        let (data, rcost) = self.dev.read_page(ptr.ppn())?;
-        cost += rcost;
+        // Charge the read, then copy device-internally: same timing and
+        // counters as read + program, no host round-trip for the payload.
+        cost += self.dev.read_page_charge(ptr.ppn())?;
         // The newest log block was allocated before recycling began; if
         // compaction filled it, take another (pool reserve covers this).
         let dest = match self.log_blocks.back() {
@@ -692,7 +713,7 @@ impl Ssc {
         let seq = self.next_seq();
         let (new_ppn, wcost) =
             self.dev
-                .program_next(dest, &data, OobData::for_lba(lba, true, seq))?;
+                .copy_page_from(dest, ptr.ppn(), OobData::for_lba(lba, true, seq))?;
         cost += wcost;
         self.dev.invalidate_page(ptr.ppn())?;
         self.maps.insert_page(lba, PagePtr::new(new_ppn, true));
@@ -728,7 +749,11 @@ impl Ssc {
         let fresh = self.alloc_for_merge(&mut cost)?;
         let old = self.maps.blocks.get(lbn).copied();
         // Newest source of each offset: log page first, then old data block.
-        let mut sources: Vec<Option<(Ppn, bool, bool)>> = Vec::with_capacity(ppb as usize);
+        // The scratch vectors are taken out of `self` for the duration of
+        // the merge (they start and end empty, so an early `?` return just
+        // costs a future re-growth).
+        let mut sources = std::mem::take(&mut self.sources_scratch);
+        sources.clear();
         for offset in 0..ppb as u32 {
             let lba = lbn * ppb + offset as u64;
             let src = match self.maps.pages.get(lba) {
@@ -743,6 +768,8 @@ impl Ssc {
         let last = match sources.iter().rposition(|s| s.is_some()) {
             Some(i) => i,
             None => {
+                sources.clear();
+                self.sources_scratch = sources;
                 // Nothing live for this LBN; return the unused block.
                 let erases = self.dev.block_state(fresh)?.erase_count;
                 let geometry = *self.dev.geometry();
@@ -757,38 +784,30 @@ impl Ssc {
                 return Ok(cost);
             }
         };
-        let zeros = vec![0u8; self.page_size()];
-        // Batch-read every source page at once: cell reads on different
-        // planes overlap (§5's multi-plane device).
-        let source_ppns: Vec<Ppn> = sources
-            .iter()
-            .take(last + 1)
-            .filter_map(|s| s.map(|(ppn, _, _)| ppn))
-            .collect();
-        let (mut source_data, rcost) = self.dev.read_pages(&source_ppns)?;
-        cost += rcost;
-        let mut next_read = 0;
+        // Charge the batch read of every source page at once: cell reads on
+        // different planes overlap (§5's multi-plane device). The payloads
+        // are then copied device-internally and never cross to the host.
+        let mut source_ppns = std::mem::take(&mut self.ppn_scratch);
+        source_ppns.clear();
+        source_ppns.extend(
+            sources
+                .iter()
+                .take(last + 1)
+                .filter_map(|s| s.map(|(ppn, _, _)| ppn)),
+        );
+        cost += self.dev.read_pages_charge(&source_ppns)?;
         let mut valid = 0u64;
         let mut dirty = 0u64;
         for (offset, src) in sources.iter().enumerate().take(last + 1) {
             let lba = lbn * ppb + offset as u64;
-            let data = match src {
-                Some(_) => {
-                    let data = std::mem::take(&mut source_data[next_read]);
-                    next_read += 1;
-                    data
-                }
-                None => zeros.clone(),
-            };
             let src_dirty = src.map(|(_, d, _)| d).unwrap_or(false);
             let seq = self.next_seq();
-            let (new_ppn, wcost) =
-                self.dev
-                    .program_next(fresh, &data, OobData::for_lba(lba, src_dirty, seq))?;
-            cost += wcost;
-            self.counters.gc_copies += 1;
+            let oob = OobData::for_lba(lba, src_dirty, seq);
             match src {
                 Some((old_ppn, d, from_log)) => {
+                    let (_, wcost) = self.dev.copy_page_from(fresh, *old_ppn, oob)?;
+                    cost += wcost;
+                    self.counters.gc_copies += 1;
                     valid |= 1 << offset;
                     if *d {
                         dirty |= 1 << offset;
@@ -801,10 +820,17 @@ impl Ssc {
                 }
                 None => {
                     // Zero-filled hole: physically present but never mapped.
+                    let (new_ppn, wcost) = self.dev.program_next(fresh, &self.zero_page, oob)?;
+                    cost += wcost;
+                    self.counters.gc_copies += 1;
                     self.dev.invalidate_page(new_ppn)?;
                 }
             }
         }
+        sources.clear();
+        source_ppns.clear();
+        self.sources_scratch = sources;
+        self.ppn_scratch = source_ppns;
         self.maps
             .insert_block(lbn, BlockEntry::new(fresh.raw(), valid, dirty));
         self.log_append(LogRecord::InsertBlock {

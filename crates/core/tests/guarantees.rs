@@ -7,10 +7,11 @@
 //!
 //! The model runs arbitrary operation sequences — including crash/recover at
 //! arbitrary points — against a shadow map that tracks what each guarantee
-//! permits.
+//! permits. Sequences come from the deterministic `simkit::SimRng`, so
+//! every failure reproduces by case number.
 
 use flashtier_core::{ConsistencyMode, Ssc, SscConfig, SscError};
-use proptest::prelude::*;
+use simkit::SimRng;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -26,21 +27,28 @@ enum Op {
     CrashTorn(u16),
 }
 
-fn ops(consistency_modelled: bool) -> impl Strategy<Value = Vec<Op>> {
+fn random_ops(rng: &mut SimRng, consistency_modelled: bool) -> Vec<Op> {
     // Dense LBA domain so block-granularity space accounting stays healthy
-    // and operations actually collide.
-    let lba = 0u64..24;
-    let op = prop_oneof![
-        3 => (lba.clone(), any::<u8>()).prop_map(|(l, f)| Op::WriteClean(l, f)),
-        2 => (lba.clone(), any::<u8>()).prop_map(|(l, f)| Op::WriteDirty(l, f)),
-        3 => lba.clone().prop_map(Op::Read),
-        1 => lba.clone().prop_map(Op::Evict),
-        2 => lba.prop_map(Op::Clean),
-        if consistency_modelled { 1 } else { 0 } => Just(Op::CrashRecover),
-        if consistency_modelled { 1 } else { 0 } =>
-            (1u16..200).prop_map(Op::CrashTorn),
-    ];
-    proptest::collection::vec(op, 1..250)
+    // and operations actually collide. Weights mirror the original
+    // distribution: 3 write-clean : 2 write-dirty : 3 read : 1 evict :
+    // 2 clean (: 1 crash-recover : 1 crash-torn when crashes are modelled).
+    let n = 1 + rng.gen_range(249) as usize;
+    let total_weight = if consistency_modelled { 13 } else { 11 };
+    (0..n)
+        .map(|_| {
+            let lba = rng.gen_range(24);
+            let fill = rng.gen_range(256) as u8;
+            match rng.gen_range(total_weight) {
+                0..=2 => Op::WriteClean(lba, fill),
+                3..=4 => Op::WriteDirty(lba, fill),
+                5..=7 => Op::Read(lba),
+                8 => Op::Evict(lba),
+                9..=10 => Op::Clean(lba),
+                11 => Op::CrashRecover,
+                _ => Op::CrashTorn(1 + rng.gen_range(199) as u16),
+            }
+        })
+        .collect()
 }
 
 /// Per-LBA shadow state.
@@ -61,12 +69,11 @@ fn run(mode: ConsistencyMode, ops: &[Op]) {
     let page_size = ssc.page_size();
     let page = |fill: u8| vec![fill; page_size];
     let mut shadow: HashMap<u64, ShadowEntry> = HashMap::new();
-    let record_write =
-        |shadow: &mut HashMap<u64, ShadowEntry>, lba: u64, fill: u8, dirty: bool| {
-            let entry = shadow.entry(lba).or_default();
-            entry.current = Some((fill, dirty));
-            entry.history.push(fill);
-        };
+    let record_write = |shadow: &mut HashMap<u64, ShadowEntry>, lba: u64, fill: u8, dirty: bool| {
+        let entry = shadow.entry(lba).or_default();
+        entry.current = Some((fill, dirty));
+        entry.history.push(fill);
+    };
 
     for op in ops {
         match *op {
@@ -191,23 +198,31 @@ fn run(mode: ConsistencyMode, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn guarantees_hold_with_full_consistency(ops in ops(true)) {
+#[test]
+fn guarantees_hold_with_full_consistency() {
+    for case in 0..96u64 {
+        let mut rng = SimRng::seed_from(0x55C_0000 ^ case);
+        let ops = random_ops(&mut rng, true);
         run(ConsistencyMode::CleanAndDirty, &ops);
     }
+}
 
-    #[test]
-    fn guarantees_hold_with_dirty_only_consistency(ops in ops(true)) {
+#[test]
+fn guarantees_hold_with_dirty_only_consistency() {
+    for case in 0..96u64 {
+        let mut rng = SimRng::seed_from(0x55C_1000 ^ case);
+        let ops = random_ops(&mut rng, true);
         run(ConsistencyMode::DirtyOnly, &ops);
     }
+}
 
-    #[test]
-    fn semantics_hold_without_consistency_machinery(ops in ops(false)) {
-        // No crashes injected: in ConsistencyMode::None nothing survives a
-        // crash, but live semantics must be identical.
+#[test]
+fn semantics_hold_without_consistency_machinery() {
+    // No crashes injected: in ConsistencyMode::None nothing survives a
+    // crash, but live semantics must be identical.
+    for case in 0..96u64 {
+        let mut rng = SimRng::seed_from(0x55C_2000 ^ case);
+        let ops = random_ops(&mut rng, false);
         run(ConsistencyMode::None, &ops);
     }
 }

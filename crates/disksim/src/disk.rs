@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 
 use crate::model::DiskConfig;
 use crate::Result;
@@ -120,43 +120,53 @@ impl Disk {
         }
     }
 
-    fn fake_data(lba: u64, version: u64, block_size: usize) -> Vec<u8> {
+    fn fake_data_into(lba: u64, version: u64, out: &mut [u8]) {
         let mut seed = lba.rotate_left(32) ^ version;
-        let mut out = Vec::with_capacity(block_size);
-        while out.len() < block_size {
+        for chunk in out.chunks_mut(8) {
             seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = seed;
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^= z >> 31;
-            let take = (block_size - out.len()).min(8);
-            out.extend_from_slice(&z.to_le_bytes()[..take]);
+            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
         }
-        out
     }
 
-    /// Reads one block. Unwritten blocks return zeros.
+    /// Reads one block into the caller's buffer (resized to one block).
+    /// Unwritten blocks read as zeros. This is the allocation-free primitive
+    /// that [`Disk::read`] wraps.
     ///
     /// # Errors
     ///
     /// [`DiskError::LbaOutOfRange`] for bad addresses.
-    pub fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+    pub fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.check(lba)?;
         let cost = self.access_cost(lba);
         self.counters.reads += 1;
-        let block_size = self.config.block_size;
-        let data = match self.mode {
-            DiskDataMode::Store => self
-                .data
-                .get(&lba)
-                .map(|d| d.to_vec())
-                .unwrap_or_else(|| vec![0; block_size]),
-            DiskDataMode::Discard => match self.versions.get(&lba) {
-                Some(&v) => Self::fake_data(lba, v, block_size),
-                None => vec![0; block_size],
+        let out = buf.prepare(self.config.block_size);
+        match self.mode {
+            DiskDataMode::Store => match self.data.get(&lba) {
+                Some(d) => out.copy_from_slice(d),
+                None => out.fill(0),
             },
-        };
-        Ok((data, cost))
+            DiskDataMode::Discard => match self.versions.get(&lba) {
+                Some(&v) => Self::fake_data_into(lba, v, out),
+                None => out.fill(0),
+            },
+        }
+        Ok(cost)
+    }
+
+    /// Reads one block into a fresh `Vec`. Convenience wrapper over
+    /// [`Disk::read_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Disk::read_into`].
+    pub fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+        let mut buf = PageBuf::new();
+        let cost = self.read_into(lba, &mut buf)?;
+        Ok((buf.into_vec(), cost))
     }
 
     /// Writes one block.
@@ -192,6 +202,24 @@ impl Disk {
     pub fn write_run(&mut self, lba: u64, blocks: &[&[u8]]) -> Result<Duration> {
         let mut total = Duration::ZERO;
         for (i, block) in blocks.iter().enumerate() {
+            total += self.write(lba + i as u64, block)?;
+        }
+        Ok(total)
+    }
+
+    /// Writes a run of consecutive blocks held in one concatenated buffer
+    /// (`data.len()` must be a whole number of blocks). Equivalent to
+    /// [`Disk::write_run`] over `data.chunks(block_size)` without building a
+    /// slice-of-slices.
+    ///
+    /// # Errors
+    ///
+    /// Errors of [`Disk::write`]; a trailing partial block fails with
+    /// [`DiskError::BadBlockSize`] and nothing past the failing block is
+    /// written.
+    pub fn write_run_concat(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {
+        let mut total = Duration::ZERO;
+        for (i, block) in data.chunks(self.config.block_size).enumerate() {
             total += self.write(lba + i as u64, block)?;
         }
         Ok(total)

@@ -1,38 +1,48 @@
 //! Property tests for the disk model: content correctness under arbitrary
 //! op sequences and timing consistency of the positional model.
+//!
+//! Cases come from the deterministic `simkit::SimRng`; failures reproduce
+//! by case number.
 
 use disksim::{Disk, DiskConfig, DiskDataMode};
-use proptest::prelude::*;
+use simkit::SimRng;
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn disk_is_an_ideal_block_store(
-        ops in proptest::collection::vec((0u64..256, any::<bool>(), any::<u8>()), 1..300),
-    ) {
-        let config = DiskConfig { capacity_blocks: 256, ..DiskConfig::paper_default() };
+#[test]
+fn disk_is_an_ideal_block_store() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from(0xD15C_0000 ^ case);
+        let n = 1 + rng.gen_range(299) as usize;
+        let config = DiskConfig {
+            capacity_blocks: 256,
+            ..DiskConfig::paper_default()
+        };
         let mut disk = Disk::new(config, DiskDataMode::Store);
         let mut shadow: HashMap<u64, u8> = HashMap::new();
-        for (lba, is_write, fill) in ops {
+        for _ in 0..n {
+            let lba = rng.gen_range(256);
+            let is_write = rng.gen_bool(0.5);
+            let fill = rng.gen_range(256) as u8;
             if is_write {
                 disk.write(lba, &vec![fill; 4096]).unwrap();
                 shadow.insert(lba, fill);
             } else {
                 let (data, _) = disk.read(lba).unwrap();
                 match shadow.get(&lba) {
-                    Some(&f) => prop_assert_eq!(data, vec![f; 4096]),
-                    None => prop_assert!(data.iter().all(|&b| b == 0)),
+                    Some(&f) => assert_eq!(data, vec![f; 4096]),
+                    None => assert!(data.iter().all(|&b| b == 0)),
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn timing_is_positional(
-        lbas in proptest::collection::vec(0u64..1_000, 2..100),
-    ) {
+#[test]
+fn timing_is_positional() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from(0xD15C_1000 ^ case);
+        let n = 2 + rng.gen_range(98) as usize;
+        let lbas: Vec<u64> = (0..n).map(|_| rng.gen_range(1_000)).collect();
         let mut disk = Disk::new(DiskConfig::paper_default(), DiskDataMode::Discard);
         let config = *disk.config();
         let mut prev: Option<u64> = None;
@@ -43,16 +53,18 @@ proptest! {
             } else {
                 config.random_cost()
             };
-            prop_assert_eq!(cost, expected, "lba {} after {:?}", lba, prev);
+            assert_eq!(cost, expected, "lba {} after {:?}", lba, prev);
             prev = Some(lba);
         }
     }
+}
 
-    #[test]
-    fn run_cost_equals_piecewise(n in 1u64..64) {
-        let config = DiskConfig::paper_default();
+#[test]
+fn run_cost_equals_piecewise() {
+    let config = DiskConfig::paper_default();
+    for n in 1u64..64 {
         // One positioned run == one random access + (n-1) sequential.
         let expected = config.random_cost() + config.sequential_cost() * (n - 1);
-        prop_assert_eq!(config.run_cost(n), expected);
+        assert_eq!(config.run_cost(n), expected);
     }
 }

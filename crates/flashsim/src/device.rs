@@ -9,7 +9,7 @@ use crate::oob::OobData;
 use crate::page::PageState;
 use crate::timing::FlashTiming;
 use crate::Result;
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 
 /// Whether the device stores page payloads.
 ///
@@ -35,6 +35,9 @@ pub struct FlashDevice {
     mode: DataMode,
     blocks: Vec<Block>,
     counters: FlashCounters,
+    /// Per-plane read tally reused by [`FlashDevice::read_pages_into`] so
+    /// batch reads stay allocation-free.
+    plane_scratch: Vec<u64>,
 }
 
 impl FlashDevice {
@@ -47,6 +50,7 @@ impl FlashDevice {
             mode,
             blocks: (0..total_blocks).map(|_| Block::new(ppb)).collect(),
             counters: FlashCounters::default(),
+            plane_scratch: vec![0; config.geometry.planes() as usize],
         }
     }
 
@@ -99,24 +103,36 @@ impl FlashDevice {
         &mut self.blocks[pbn.raw() as usize]
     }
 
-    /// Deterministic synthetic payload for discard-mode reads.
-    fn fake_data(&self, ppn: Ppn, oob: &OobData) -> Vec<u8> {
+    /// Deterministic synthetic payload for discard-mode reads, written into
+    /// `out` (SplitMix64 stream seeded from the page's identity).
+    fn fake_data_into(ppn: Ppn, oob: &OobData, out: &mut [u8]) {
         let mut seed = ppn.raw() ^ oob.seq.rotate_left(17) ^ oob.lba.unwrap_or(u64::MAX);
-        let mut out = Vec::with_capacity(self.config.geometry.page_size());
-        while out.len() < self.config.geometry.page_size() {
+        for chunk in out.chunks_mut(8) {
             // SplitMix64 step, truncated to the page size.
             seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = seed;
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^= z >> 31;
-            let take = (self.config.geometry.page_size() - out.len()).min(8);
-            out.extend_from_slice(&z.to_le_bytes()[..take]);
+            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
         }
-        out
     }
 
-    /// Reads a programmed page, returning its payload and the simulated cost.
+    /// The single source of truth for what a programmed page reads back as:
+    /// stored payload when one exists, the deterministic synthetic stream in
+    /// discard mode, zeros otherwise (unreachable in store mode, where
+    /// payloads persist until erase; kept for robustness).
+    fn payload_into(mode: DataMode, ppn: Ppn, data: Option<&[u8]>, oob: &OobData, out: &mut [u8]) {
+        match (data, mode) {
+            (Some(d), _) => out.copy_from_slice(d),
+            (None, DataMode::Discard) => Self::fake_data_into(ppn, oob, out),
+            (None, DataMode::Store) => out.fill(0),
+        }
+    }
+
+    /// Reads a programmed page into `buf` (resized to one page), returning
+    /// the simulated cost. This is the zero-allocation core that
+    /// [`FlashDevice::read_page`] wraps.
     ///
     /// # Errors
     ///
@@ -125,7 +141,7 @@ impl FlashDevice {
     /// `Invalid` page succeeds — the cells still hold the superseded content
     /// until the block is erased, and GC relies on reading pages it is about
     /// to invalidate.
-    pub fn read_page(&mut self, ppn: Ppn) -> Result<(Vec<u8>, Duration)> {
+    pub fn read_page_into(&mut self, ppn: Ppn, buf: &mut PageBuf) -> Result<Duration> {
         self.check_ppn(ppn)?;
         let g = self.config.geometry;
         let pbn = g.block_of(ppn);
@@ -134,34 +150,40 @@ impl FlashDevice {
         if page.state == PageState::Free {
             return Err(FlashError::ReadFree(ppn));
         }
-        let data = match (&page.data, self.mode) {
-            (Some(d), _) => d.to_vec(),
-            (None, DataMode::Discard) => {
-                let oob = page.oob;
-                self.fake_data(ppn, &oob)
-            }
-            // Unreachable in store mode (payloads persist until erase),
-            // kept for robustness.
-            (None, DataMode::Store) => vec![0; g.page_size()],
-        };
+        let out = buf.prepare(g.page_size());
+        Self::payload_into(self.mode, ppn, page.data.as_deref(), &page.oob, out);
         self.counters.page_reads += 1;
-        Ok((data, self.config.timing.read_cost()))
+        Ok(self.config.timing.read_cost())
     }
 
-    /// Reads a batch of programmed pages, exploiting plane parallelism:
-    /// cell reads on different planes overlap, while the shared bus
-    /// serializes transfers. Cost = control delay + max-per-plane sum of
-    /// cell reads + one bus transfer per page. This is how merges and
+    /// Reads a programmed page, returning its payload and the simulated cost.
+    /// Convenience wrapper over [`FlashDevice::read_page_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::read_page_into`].
+    pub fn read_page(&mut self, ppn: Ppn) -> Result<(Vec<u8>, Duration)> {
+        let mut buf = PageBuf::new();
+        let cost = self.read_page_into(ppn, &mut buf)?;
+        Ok((buf.into_vec(), cost))
+    }
+
+    /// Reads a batch of programmed pages into `buf` as one concatenated
+    /// span (`ppns.len() * page_size` bytes, in argument order), exploiting
+    /// plane parallelism: cell reads on different planes overlap, while the
+    /// shared bus serializes transfers. Cost = control delay + max-per-plane
+    /// sum of cell reads + one bus transfer per page. This is how merges and
     /// garbage collection read their source pages on a real multi-plane
     /// device.
     ///
     /// # Errors
     ///
     /// Fails on the first unreadable page (same conditions as
-    /// [`FlashDevice::read_page`]); no cost is charged in that case.
-    pub fn read_pages(&mut self, ppns: &[Ppn]) -> Result<(Vec<Vec<u8>>, Duration)> {
+    /// [`FlashDevice::read_page_into`]); no cost is charged in that case.
+    pub fn read_pages_into(&mut self, ppns: &[Ppn], buf: &mut PageBuf) -> Result<Duration> {
         if ppns.is_empty() {
-            return Ok((Vec::new(), Duration::ZERO));
+            buf.prepare(0);
+            return Ok(Duration::ZERO);
         }
         let g = *self.geometry();
         // Validate everything first so errors charge nothing.
@@ -172,28 +194,100 @@ impl FlashDevice {
                 return Err(FlashError::ReadFree(ppn));
             }
         }
-        let mut per_plane_reads = vec![0u64; g.planes() as usize];
-        let mut out = Vec::with_capacity(ppns.len());
-        for &ppn in ppns {
-            let plane = g.plane_of(g.block_of(ppn)) as usize;
-            per_plane_reads[plane] += 1;
+        let page_size = g.page_size();
+        let out = buf.prepare(ppns.len() * page_size);
+        let mode = self.mode;
+        let FlashDevice {
+            ref blocks,
+            ref mut counters,
+            ref mut plane_scratch,
+            ..
+        } = *self;
+        plane_scratch.fill(0);
+        for (slot, &ppn) in out.chunks_mut(page_size).zip(ppns) {
             let pbn = g.block_of(ppn);
+            plane_scratch[g.plane_of(pbn) as usize] += 1;
             let idx = g.page_in_block(ppn) as usize;
-            let page = &self.block(pbn).pages[idx];
-            let data = match (&page.data, self.mode) {
-                (Some(d), _) => d.to_vec(),
-                (None, DataMode::Discard) => {
-                    let oob = page.oob;
-                    self.fake_data(ppn, &oob)
-                }
-                (None, DataMode::Store) => vec![0; g.page_size()],
-            };
-            out.push(data);
+            let page = &blocks[pbn.raw() as usize].pages[idx];
+            Self::payload_into(mode, ppn, page.data.as_deref(), &page.oob, slot);
+            counters.page_reads += 1;
+        }
+        let t = self.config.timing;
+        let slowest_plane = self.plane_scratch.iter().copied().max().unwrap_or(0);
+        let cost = t.control + t.page_read * slowest_plane + t.bus_control * ppns.len() as u64;
+        Ok(cost)
+    }
+
+    /// Charges the cost and counters of reading one programmed page without
+    /// materializing its payload — the read half of a device-internal copy
+    /// ([`FlashDevice::copy_page_from`]), where the data never crosses to
+    /// the host. Validation, counters and timing are identical to
+    /// [`FlashDevice::read_page_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::read_page_into`].
+    pub fn read_page_charge(&mut self, ppn: Ppn) -> Result<Duration> {
+        self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        let page = &self.block(g.block_of(ppn)).pages[g.page_in_block(ppn) as usize];
+        if page.state == PageState::Free {
+            return Err(FlashError::ReadFree(ppn));
+        }
+        self.counters.page_reads += 1;
+        Ok(self.config.timing.read_cost())
+    }
+
+    /// Charges the cost and counters of reading `ppns` as one multi-plane
+    /// batch without materializing any payload — the read half of a merge
+    /// or garbage collection whose pages are re-programmed with
+    /// [`FlashDevice::copy_page_from`]. Validation, counters and timing are
+    /// identical to [`FlashDevice::read_pages_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::read_pages_into`]; no cost is
+    /// charged on error.
+    pub fn read_pages_charge(&mut self, ppns: &[Ppn]) -> Result<Duration> {
+        if ppns.is_empty() {
+            return Ok(Duration::ZERO);
+        }
+        let g = *self.geometry();
+        for &ppn in ppns {
+            self.check_ppn(ppn)?;
+            let page = &self.block(g.block_of(ppn)).pages[g.page_in_block(ppn) as usize];
+            if page.state == PageState::Free {
+                return Err(FlashError::ReadFree(ppn));
+            }
+        }
+        self.plane_scratch.fill(0);
+        for &ppn in ppns {
+            self.plane_scratch[g.plane_of(g.block_of(ppn)) as usize] += 1;
             self.counters.page_reads += 1;
         }
         let t = self.config.timing;
-        let slowest_plane = per_plane_reads.iter().copied().max().unwrap_or(0);
-        let cost = t.control + t.page_read * slowest_plane + t.bus_control * ppns.len() as u64;
+        let slowest_plane = self.plane_scratch.iter().copied().max().unwrap_or(0);
+        Ok(t.control + t.page_read * slowest_plane + t.bus_control * ppns.len() as u64)
+    }
+
+    /// Reads a batch of programmed pages, returning one `Vec` per page.
+    /// Convenience wrapper over [`FlashDevice::read_pages_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::read_pages_into`].
+    pub fn read_pages(&mut self, ppns: &[Ppn]) -> Result<(Vec<Vec<u8>>, Duration)> {
+        let mut buf = PageBuf::new();
+        let cost = self.read_pages_into(ppns, &mut buf)?;
+        let page_size = self.config.geometry.page_size();
+        let out = if ppns.is_empty() {
+            Vec::new()
+        } else {
+            buf.as_slice()
+                .chunks(page_size)
+                .map(<[u8]>::to_vec)
+                .collect()
+        };
         Ok((out, cost))
     }
 
@@ -286,6 +380,41 @@ impl FlashDevice {
         let ppn = Ppn(g.first_page(pbn).raw() + wp as u64);
         let cost = self.program_page(ppn, data, oob)?;
         Ok((ppn, cost))
+    }
+
+    /// Programs the next free page of `pbn` with the payload of `src` — a
+    /// device-internal copy, the program half of a merge or garbage
+    /// collection. The data never crosses to the host: store mode clones the
+    /// retained payload, discard mode moves nothing at all. Timing and
+    /// counters are identical to [`FlashDevice::program_next`]; the read
+    /// side is charged separately via [`FlashDevice::read_page_charge`] or
+    /// [`FlashDevice::read_pages_charge`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ReadFree`] if `src` has not been programmed, plus the
+    /// errors of [`FlashDevice::program_next`].
+    pub fn copy_page_from(&mut self, pbn: Pbn, src: Ppn, oob: OobData) -> Result<(Ppn, Duration)> {
+        self.check_ppn(src)?;
+        self.check_pbn(pbn)?;
+        let g = self.config.geometry;
+        let src_page = &self.block(g.block_of(src)).pages[g.page_in_block(src) as usize];
+        if src_page.state == PageState::Free {
+            return Err(FlashError::ReadFree(src));
+        }
+        let payload = src_page.data.clone();
+        let wp = self.block(pbn).write_ptr;
+        if wp >= g.pages_per_block() {
+            return Err(FlashError::ProgramNotFree(g.first_page(pbn)));
+        }
+        let ppn = Ppn(g.first_page(pbn).raw() + wp as u64);
+        let block = self.block_mut(pbn);
+        if block.pages[wp as usize].state != PageState::Free {
+            return Err(FlashError::ProgramNotFree(ppn));
+        }
+        block.program(wp, payload, oob);
+        self.counters.page_writes += 1;
+        Ok((ppn, self.config.timing.write_cost()))
     }
 
     /// Erases a block, freeing all its pages, and returns the cost.
@@ -640,7 +769,7 @@ mod tests {
 mod batch_tests {
     use super::*;
 
-    fn dev_with_pages() -> (FlashDevice, Vec<Ppn>, Vec<Ppn>) {
+    pub(super) fn dev_with_pages() -> (FlashDevice, Vec<Ppn>, Vec<Ppn>) {
         let mut d = FlashDevice::new(FlashConfig::small_test(), DataMode::Store);
         let g = *d.geometry();
         let data = vec![1u8; g.page_size()];
@@ -702,5 +831,106 @@ mod batch_tests {
         let (empty, cost) = d.read_pages(&[]).unwrap();
         assert!(empty.is_empty());
         assert!(cost.is_zero());
+    }
+}
+
+#[cfg(test)]
+mod relocation_tests {
+    use super::*;
+
+    #[test]
+    fn charge_matches_materializing_reads() {
+        // The *_charge variants must bill exactly what the *_into variants
+        // bill — same Duration, same counter increments — for any mix of
+        // planes, or GC relocation would drift from the modeled timing.
+        let (mut d, same, cross) = super::batch_tests::dev_with_pages();
+        let mut buf = PageBuf::new();
+        for ppns in [&same, &cross] {
+            let into_cost = d.read_pages_into(ppns, &mut buf).unwrap();
+            let reads_mid = d.counters().page_reads;
+            let charge_cost = d.read_pages_charge(ppns).unwrap();
+            assert_eq!(charge_cost, into_cost);
+            assert_eq!(d.counters().page_reads, reads_mid + ppns.len() as u64);
+        }
+        let single = same[2];
+        let into_cost = d.read_page_into(single, &mut buf).unwrap();
+        assert_eq!(d.read_page_charge(single).unwrap(), into_cost);
+        // Errors charge nothing, like the materializing variants.
+        let free = Ppn(d.geometry().total_pages() - 1);
+        let reads = d.counters().page_reads;
+        assert_eq!(d.read_page_charge(free), Err(FlashError::ReadFree(free)));
+        assert_eq!(
+            d.read_pages_charge(&[single, free]),
+            Err(FlashError::ReadFree(free))
+        );
+        assert_eq!(d.counters().page_reads, reads);
+        assert!(d.read_pages_charge(&[]).unwrap().is_zero());
+    }
+
+    #[test]
+    fn copy_page_from_preserves_payload_in_store_mode() {
+        let mut d = FlashDevice::new(FlashConfig::small_test(), DataMode::Store);
+        let g = *d.geometry();
+        let data = vec![0xA7u8; g.page_size()];
+        let (src, _) = d
+            .program_next(g.pbn(0, 0), &data, OobData::for_lba(4, false, 1))
+            .unwrap();
+        let dest_block = g.pbn(1, 1);
+        let oob = OobData::for_lba(4, true, 2);
+        let (new_ppn, cost) = d.copy_page_from(dest_block, src, oob).unwrap();
+        // Same cost and counter as a host program of the same page.
+        assert_eq!(cost, d.timing().write_cost());
+        assert_eq!(d.counters().page_writes, 2);
+        assert_eq!(g.block_of(new_ppn), dest_block);
+        assert_eq!(d.read_page(new_ppn).unwrap().0, data);
+        assert_eq!(d.peek_oob(new_ppn).unwrap(), oob);
+    }
+
+    #[test]
+    fn copy_page_from_matches_discard_fake_data() {
+        // In Discard mode the device regenerates payloads from the PPN, so a
+        // copy must read back exactly like a program of the same page would.
+        let config = FlashConfig::small_test();
+        let mut copied = FlashDevice::new(config, DataMode::Discard);
+        let mut programmed = FlashDevice::new(config, DataMode::Discard);
+        let g = *copied.geometry();
+        let data = vec![0u8; g.page_size()];
+        let (src, _) = copied
+            .program_next(g.pbn(0, 0), &data, OobData::for_lba(8, false, 1))
+            .unwrap();
+        let oob = OobData::for_lba(8, false, 2);
+        let (via_copy, _) = copied.copy_page_from(g.pbn(1, 0), src, oob).unwrap();
+        let (via_program, _) = programmed.program_next(g.pbn(1, 0), &data, oob).unwrap();
+        assert_eq!(via_copy, via_program);
+        assert_eq!(
+            copied.read_page(via_copy).unwrap(),
+            programmed.read_page(via_program).unwrap()
+        );
+    }
+
+    #[test]
+    fn copy_page_from_validates_both_ends() {
+        let mut d = FlashDevice::new(FlashConfig::small_test(), DataMode::Store);
+        let g = *d.geometry();
+        let data = vec![1u8; g.page_size()];
+        let (src, _) = d
+            .program_next(g.pbn(0, 0), &data, OobData::for_lba(1, false, 1))
+            .unwrap();
+        // Free source page rejected.
+        let free = Ppn(src.raw() + 1);
+        assert_eq!(
+            d.copy_page_from(g.pbn(1, 0), free, OobData::default()),
+            Err(FlashError::ReadFree(free))
+        );
+        // Full destination block rejected.
+        let full = g.pbn(1, 1);
+        for i in 0..g.pages_per_block() {
+            d.program_next(full, &data, OobData::for_lba(i as u64, false, 1))
+                .unwrap();
+        }
+        assert!(matches!(
+            d.copy_page_from(full, src, OobData::default()),
+            Err(FlashError::ProgramNotFree(_))
+        ));
     }
 }

@@ -61,6 +61,7 @@ pub use device::{DataMode, FlashDevice};
 pub use error::FlashError;
 pub use oob::OobData;
 pub use page::PageState;
+pub use simkit::PageBuf;
 pub use timing::FlashTiming;
 
 /// Result alias for flash operations.

@@ -21,7 +21,7 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use flashsim::{DataMode, FlashCounters, FlashDevice, OobData, PageState, Pbn, Ppn, WearStats};
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 use sparsemap::{memory, MapMemory};
 
 use crate::config::SsdConfig;
@@ -57,6 +57,12 @@ pub struct HybridFtl {
     counters: FtlCounters,
     seq: u64,
     exposed_pages: u64,
+    /// Scratch buffers reused across merges so steady-state GC is
+    /// allocation-free: per-offset sources, the batch PPN list, and one
+    /// pre-zeroed page for never-written offsets.
+    sources_scratch: Vec<Option<Ppn>>,
+    ppn_scratch: Vec<Ppn>,
+    zero_page: Box<[u8]>,
 }
 
 impl HybridFtl {
@@ -75,6 +81,9 @@ impl HybridFtl {
             counters: FtlCounters::default(),
             seq: 0,
             exposed_pages: exposed_lbns * config.flash.geometry.pages_per_block() as u64,
+            sources_scratch: Vec::new(),
+            ppn_scratch: Vec::new(),
+            zero_page: vec![0; config.flash.geometry.page_size()].into_boxed_slice(),
         }
     }
 
@@ -238,14 +247,18 @@ impl HybridFtl {
     }
 
     /// Copies the newest version of every page of `lbn` into a fresh data
-    /// block; the old data block (if any) is erased.
+    /// block; the old data block (if any) is erased. Works entirely out of
+    /// the reusable scratch buffers, so sustained GC does not allocate.
     fn merge_lbn(&mut self, lbn: u64) -> Result<Duration> {
         let mut cost = Duration::ZERO;
         let ppb = self.ppb() as u64;
         let geometry = *self.dev.geometry();
         let old = self.data_map[lbn as usize];
-        // Identify the newest source of each page.
-        let mut sources: Vec<Option<Ppn>> = Vec::with_capacity(ppb as usize);
+        // Identify the newest source of each page. The scratch vectors are
+        // taken out of `self` for the duration of the merge (they start and
+        // end empty, so an early `?` return just costs a future re-growth).
+        let mut sources = std::mem::take(&mut self.sources_scratch);
+        sources.clear();
         for offset in 0..ppb {
             let lba = lbn * ppb + offset;
             let src = self.log_map.get(&lba).copied().or_else(|| {
@@ -260,6 +273,8 @@ impl HybridFtl {
             Some(i) => i,
             // Nothing live for this LBN (raced with trim); just drop the map.
             None => {
+                sources.clear();
+                self.sources_scratch = sources;
                 if let Some(oldb) = self.data_map[lbn as usize].take() {
                     cost += self.retire_block(oldb)?;
                 }
@@ -267,26 +282,21 @@ impl HybridFtl {
             }
         };
         let fresh = self.pool.alloc().ok_or(FtlError::OutOfSpace)?;
-        let zeros = vec![0u8; geometry.page_size()];
-        // Batch-read the sources: plane-parallel cell reads.
-        let source_ppns: Vec<Ppn> = sources.iter().take(last + 1).filter_map(|s| *s).collect();
-        let (mut source_data, rcost) = self.dev.read_pages(&source_ppns)?;
-        cost += rcost;
-        let mut next_read = 0;
+        // Charge the batch read of the sources (plane-parallel cell reads);
+        // the payloads are then copied device-internally page by page and
+        // never cross to the host.
+        let mut source_ppns = std::mem::take(&mut self.ppn_scratch);
+        source_ppns.clear();
+        source_ppns.extend(sources.iter().take(last + 1).filter_map(|s| *s));
+        cost += self.dev.read_pages_charge(&source_ppns)?;
         for (offset, src) in sources.iter().enumerate().take(last + 1) {
             let lba = lbn * ppb + offset as u64;
-            let data = match src {
-                Some(_) => {
-                    let data = std::mem::take(&mut source_data[next_read]);
-                    next_read += 1;
-                    data
-                }
-                None => zeros.clone(),
-            };
             let seq = self.next_seq();
-            let (_, wcost) =
-                self.dev
-                    .program_next(fresh, &data, OobData::for_lba(lba, false, seq))?;
+            let oob = OobData::for_lba(lba, false, seq);
+            let wcost = match src {
+                Some(ppn) => self.dev.copy_page_from(fresh, *ppn, oob)?.1,
+                None => self.dev.program_next(fresh, &self.zero_page, oob)?.1,
+            };
             cost += wcost;
             self.counters.gc_copies += 1;
             // The source copy is now superseded.
@@ -295,6 +305,10 @@ impl HybridFtl {
                 self.log_map.remove(&lba);
             }
         }
+        sources.clear();
+        source_ppns.clear();
+        self.sources_scratch = sources;
+        self.ppn_scratch = source_ppns;
         if let Some(oldb) = old {
             debug_assert_eq!(self.dev.block_state(oldb)?.valid_pages, 0);
             cost += self.retire_block(oldb)?;
@@ -309,27 +323,23 @@ impl BlockDev for HybridFtl {
         self.exposed_pages
     }
 
-    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+    fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.check_lba(lba)?;
         self.counters.host_reads += 1;
         if let Some(&ppn) = self.log_map.get(&lba) {
-            let (data, cost) = self.dev.read_page(ppn)?;
-            return Ok((data, cost));
+            return Ok(self.dev.read_page_into(ppn, buf)?);
         }
         let lbn = (lba / self.ppb() as u64) as usize;
         if let Some(pbn) = self.data_map[lbn] {
             let offset = lba % self.ppb() as u64;
             let ppn = Ppn(self.dev.geometry().first_page(pbn).raw() + offset);
             if self.dev.page_state(ppn)? == PageState::Valid {
-                let (data, cost) = self.dev.read_page(ppn)?;
-                return Ok((data, cost));
+                return Ok(self.dev.read_page_into(ppn, buf)?);
             }
         }
         // Never written (or trimmed): disks return zeros.
-        Ok((
-            vec![0; self.dev.geometry().page_size()],
-            self.dev.timing().metadata_cost(),
-        ))
+        buf.fill_with(self.dev.geometry().page_size(), 0);
+        Ok(self.dev.timing().metadata_cost())
     }
 
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use flashsim::{DataMode, FlashCounters, FlashDevice, OobData, Pbn, Ppn, WearStats};
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 use sparsemap::{memory, MapMemory};
 
 use crate::config::SsdConfig;
@@ -155,14 +155,15 @@ impl PageFtl {
         }
         let (_, victim) = victim.ok_or(FtlError::OutOfSpace)?;
         for (ppn, oob) in self.dev.valid_pages_of(victim)? {
-            let (data, rcost) = self.dev.read_page(ppn)?;
-            cost += rcost;
+            // Charge the read, then relocate the payload device-internally:
+            // same timing and counters as read + program, no host copy.
+            cost += self.dev.read_page_charge(ppn)?;
             let dest = self.stream_block(true, &mut cost)?;
             let lba = oob.lba.expect("user pages carry an LBA");
             let seq = self.next_seq();
             let (new_ppn, wcost) =
                 self.dev
-                    .program_next(dest, &data, OobData::for_lba(lba, oob.dirty, seq))?;
+                    .copy_page_from(dest, ppn, OobData::for_lba(lba, oob.dirty, seq))?;
             cost += wcost;
             self.dev.invalidate_page(ppn)?;
             self.map.insert(lba, new_ppn);
@@ -179,18 +180,15 @@ impl BlockDev for PageFtl {
         self.exposed_pages
     }
 
-    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+    fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.check_lba(lba)?;
         self.counters.host_reads += 1;
         match self.map.get(&lba) {
-            Some(&ppn) => {
-                let (data, cost) = self.dev.read_page(ppn)?;
-                Ok((data, cost))
+            Some(&ppn) => Ok(self.dev.read_page_into(ppn, buf)?),
+            None => {
+                buf.fill_with(self.dev.geometry().page_size(), 0);
+                Ok(self.dev.timing().metadata_cost())
             }
-            None => Ok((
-                vec![0; self.dev.geometry().page_size()],
-                self.dev.timing().metadata_cost(),
-            )),
         }
     }
 

@@ -1,6 +1,6 @@
 //! The common block-device interface and counters for both FTLs.
 
-use simkit::Duration;
+use simkit::{Duration, PageBuf};
 use sparsemap::MapMemory;
 
 use crate::Result;
@@ -45,8 +45,17 @@ pub trait BlockDev {
     /// Exposed capacity in 4 KB logical pages.
     fn capacity_pages(&self) -> u64;
 
-    /// Reads one logical page.
-    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)>;
+    /// Reads one logical page into the caller's buffer (resized to one
+    /// page). This is the allocation-free primitive; [`BlockDev::read`] is a
+    /// convenience wrapper over it.
+    fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration>;
+
+    /// Reads one logical page into a fresh `Vec`.
+    fn read(&mut self, lba: u64) -> Result<(Vec<u8>, Duration)> {
+        let mut buf = PageBuf::new();
+        let cost = self.read_into(lba, &mut buf)?;
+        Ok((buf.into_vec(), cost))
+    }
 
     /// Writes one logical page.
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration>;

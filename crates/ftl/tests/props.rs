@@ -2,9 +2,12 @@
 //! (read-your-writes, zeros after trim or before any write) under arbitrary
 //! operation sequences, while never violating flash constraints (the
 //! simulator would error) and keeping their block accounting consistent.
+//!
+//! Cases come from the deterministic `simkit::SimRng`; failures reproduce
+//! by case number.
 
 use ftl::{BlockDev, HybridFtl, PageFtl, SsdConfig};
-use proptest::prelude::*;
+use simkit::SimRng;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -14,13 +17,15 @@ enum Op {
     Read(u64),
 }
 
-fn ops(max_lba: u64) -> impl Strategy<Value = Vec<Op>> {
-    let op = prop_oneof![
-        (0..max_lba, any::<u8>()).prop_map(|(lba, fill)| Op::Write(lba, fill)),
-        (0..max_lba).prop_map(Op::Trim),
-        (0..max_lba).prop_map(Op::Read),
-    ];
-    proptest::collection::vec(op, 1..600)
+fn random_ops(rng: &mut SimRng, max_lba: u64) -> Vec<Op> {
+    let n = 1 + rng.gen_range(599) as usize;
+    (0..n)
+        .map(|_| match rng.gen_range(3) {
+            0 => Op::Write(rng.gen_range(max_lba), rng.gen_range(256) as u8),
+            1 => Op::Trim(rng.gen_range(max_lba)),
+            _ => Op::Read(rng.gen_range(max_lba)),
+        })
+        .collect()
 }
 
 fn run_model<D: BlockDev>(dev: &mut D, ops: &[Op], page_size: usize) {
@@ -51,25 +56,95 @@ fn run_model<D: BlockDev>(dev: &mut D, ops: &[Op], page_size: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn hybrid_is_an_ideal_block_store(ops in ops(60)) {
+#[test]
+fn hybrid_is_an_ideal_block_store() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xF71_0000 ^ case);
+        let ops = random_ops(&mut rng, 60);
         let mut ssd = HybridFtl::new(SsdConfig::small_test(), flashsim::DataMode::Store);
-        prop_assert!(ssd.capacity_pages() >= 60);
+        assert!(ssd.capacity_pages() >= 60);
         run_model(&mut ssd, &ops, 512);
     }
+}
 
-    #[test]
-    fn pagemap_is_an_ideal_block_store(ops in ops(90)) {
+#[test]
+fn pagemap_is_an_ideal_block_store() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xF71_1000 ^ case);
+        let ops = random_ops(&mut rng, 90);
         let mut ssd = PageFtl::new(SsdConfig::small_test(), flashsim::DataMode::Store);
-        prop_assert!(ssd.capacity_pages() >= 90);
+        assert!(ssd.capacity_pages() >= 90);
         run_model(&mut ssd, &ops, 512);
     }
+}
 
-    #[test]
-    fn hybrid_write_amp_bounded(fills in proptest::collection::vec((0u64..72, any::<u8>()), 200..800)) {
+/// Replays the same op sequence against a `Store` and a `Discard` instance
+/// in lockstep, asserting identical per-op simulated `Duration`s, then
+/// identical final counters. Timing and accounting must be data-independent:
+/// `Discard` exists purely to skip payload bookkeeping, never to change the
+/// model.
+fn assert_modes_agree<D: BlockDev>(mut store: D, mut discard: D, ops: &[Op], page_size: usize) {
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Write(lba, fill) => {
+                let data = vec![fill; page_size];
+                let a = store.write(lba, &data).unwrap();
+                let b = discard.write(lba, &data).unwrap();
+                assert_eq!(a, b, "write cost diverged at op {i}");
+            }
+            Op::Trim(lba) => {
+                let a = store.trim(lba).unwrap();
+                let b = discard.trim(lba).unwrap();
+                assert_eq!(a, b, "trim cost diverged at op {i}");
+            }
+            Op::Read(lba) => {
+                let (_, a) = store.read(lba).unwrap();
+                let (_, b) = discard.read(lba).unwrap();
+                assert_eq!(a, b, "read cost diverged at op {i}");
+            }
+        }
+    }
+    assert_eq!(store.ftl_counters(), discard.ftl_counters());
+    assert_eq!(store.flash_counters(), discard.flash_counters());
+    assert_eq!(store.wear(), discard.wear());
+}
+
+#[test]
+fn hybrid_store_and_discard_time_identically() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xF71_3000 ^ case);
+        let ops = random_ops(&mut rng, 60);
+        assert_modes_agree(
+            HybridFtl::new(SsdConfig::small_test(), flashsim::DataMode::Store),
+            HybridFtl::new(SsdConfig::small_test(), flashsim::DataMode::Discard),
+            &ops,
+            512,
+        );
+    }
+}
+
+#[test]
+fn pagemap_store_and_discard_time_identically() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xF71_4000 ^ case);
+        let ops = random_ops(&mut rng, 90);
+        assert_modes_agree(
+            PageFtl::new(SsdConfig::small_test(), flashsim::DataMode::Store),
+            PageFtl::new(SsdConfig::small_test(), flashsim::DataMode::Discard),
+            &ops,
+            512,
+        );
+    }
+}
+
+#[test]
+fn hybrid_write_amp_bounded() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xF71_2000 ^ case);
+        let n = 200 + rng.gen_range(600) as usize;
+        let fills: Vec<(u64, u8)> = (0..n)
+            .map(|_| (rng.gen_range(72), rng.gen_range(256) as u8))
+            .collect();
         let mut ssd = HybridFtl::new(SsdConfig::small_test(), flashsim::DataMode::Store);
         for (lba, fill) in fills {
             ssd.write(lba, &vec![fill; 512]).unwrap();
@@ -78,6 +153,6 @@ proptest! {
         // per incoming page in the worst case, but the paper-scale bound is
         // much lower; sanity-bound it at the structural maximum.
         let wa = ssd.write_amplification();
-        prop_assert!((1.0..=9.0).contains(&wa), "write amplification {}", wa);
+        assert!((1.0..=9.0).contains(&wa), "write amplification {}", wa);
     }
 }

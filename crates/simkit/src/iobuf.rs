@@ -1,0 +1,158 @@
+//! Reusable I/O buffer for the zero-allocation data path.
+//!
+//! Every device read in the stack comes in two flavors: a convenience form
+//! returning a fresh `Vec<u8>`, and a `*_into(&mut PageBuf)` form that
+//! reuses the caller's buffer. The buffer grows to the largest request it
+//! has served and is never shrunk, so steady-state loops (trace replay,
+//! garbage collection) perform no heap allocation per operation.
+
+/// A growable, reusable byte buffer with an explicit logical length.
+///
+/// [`PageBuf::prepare`] sets the logical length for the next fill without
+/// reallocating when capacity suffices; the returned slice's contents are
+/// unspecified (callers overwrite it completely).
+#[derive(Debug, Default, Clone)]
+pub struct PageBuf {
+    data: Vec<u8>,
+}
+
+impl PageBuf {
+    /// Creates an empty buffer (no allocation until first use).
+    pub const fn new() -> Self {
+        PageBuf { data: Vec::new() }
+    }
+
+    /// Creates a buffer with `n` bytes of capacity pre-allocated.
+    pub fn with_capacity(n: usize) -> Self {
+        PageBuf {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    /// Sets the logical length to `len` and returns the whole buffer as a
+    /// mutable slice. Reuses existing capacity; only grows (and thus
+    /// allocates) when `len` exceeds the high-water mark. Contents are
+    /// unspecified — the caller is expected to overwrite every byte.
+    pub fn prepare(&mut self, len: usize) -> &mut [u8] {
+        if self.data.len() < len {
+            self.data.resize(len, 0);
+        } else {
+            self.data.truncate(len);
+        }
+        &mut self.data[..]
+    }
+
+    /// Sets the logical length to `len` and fills the buffer with `byte`.
+    pub fn fill_with(&mut self, len: usize, byte: u8) -> &mut [u8] {
+        let out = self.prepare(len);
+        out.fill(byte);
+        out
+    }
+
+    /// Replaces the contents with a copy of `src`.
+    pub fn copy_from(&mut self, src: &[u8]) -> &mut [u8] {
+        let out = self.prepare(src.len());
+        out.copy_from_slice(src);
+        out
+    }
+
+    /// Current logical length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Allocated capacity in bytes (the high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// The contents as an immutable slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The contents as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consumes the buffer, yielding its contents as a `Vec<u8>`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl AsRef<[u8]> for PageBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsMut<[u8]> for PageBuf {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl std::ops::Deref for PageBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for PageBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_reuses_capacity() {
+        let mut buf = PageBuf::new();
+        buf.prepare(4096).fill(7);
+        let cap = buf.capacity();
+        assert!(cap >= 4096);
+        // Shrinking and re-growing within capacity never reallocates.
+        buf.prepare(512);
+        assert_eq!(buf.len(), 512);
+        buf.prepare(4096);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.len(), 4096);
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let mut buf = PageBuf::with_capacity(16);
+        assert!(buf.is_empty());
+        buf.fill_with(8, 0xAB);
+        assert_eq!(buf.as_slice(), &[0xAB; 8]);
+        buf.copy_from(&[1, 2, 3]);
+        assert_eq!(&buf[..], &[1, 2, 3]);
+        assert_eq!(buf.to_vec(), vec![1, 2, 3]);
+        assert_eq!(buf.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deref_slicing_works() {
+        let mut buf = PageBuf::new();
+        buf.copy_from(&[9, 8, 7, 6]);
+        buf[1] = 0;
+        assert_eq!(&buf[..2], &[9, 0]);
+    }
+}

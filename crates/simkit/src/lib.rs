@@ -14,13 +14,17 @@
 //!   reproducibility of the published numbers.
 //! * [`stats`] — streaming summaries, histograms, percentiles and CDFs used by
 //!   the evaluation harness.
+//! * [`iobuf`] — the reusable [`PageBuf`] that every device `*_into` read
+//!   fills, keeping steady-state replay loops allocation-free.
 
 pub mod clock;
 pub mod crc;
+pub mod iobuf;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{Duration, SimClock, SimTime};
 pub use crc::crc32;
+pub use iobuf::PageBuf;
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, Summary};

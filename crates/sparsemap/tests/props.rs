@@ -1,8 +1,11 @@
 //! Property tests: the sparse map must behave exactly like a reference
 //! `HashMap` under arbitrary operation sequences, and its memory must stay
 //! proportional to live entries.
+//!
+//! Cases come from the deterministic `simkit::SimRng`, so every run covers
+//! the same operation sequences and failures reproduce by case number.
 
-use proptest::prelude::*;
+use simkit::SimRng;
 use sparsemap::{DenseMap, SparseHashMap};
 use std::collections::HashMap;
 
@@ -14,99 +17,122 @@ enum Op {
     Get(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // Keys drawn from a small domain so inserts/removes/hits actually
-    // interact, mixed with occasional far-away keys for sparseness.
-    let key = prop_oneof![0u64..64, any::<u64>()];
-    prop_oneof![
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        key.clone().prop_map(Op::Remove),
-        key.prop_map(Op::Get),
-    ]
+// Keys drawn from a small domain so inserts/removes/hits actually
+// interact, mixed with occasional far-away keys for sparseness.
+fn random_key(rng: &mut SimRng) -> u64 {
+    if rng.gen_bool(0.5) {
+        rng.gen_range(64)
+    } else {
+        rng.next_u64()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_ops(rng: &mut SimRng, max: u64) -> Vec<Op> {
+    let n = 1 + rng.gen_range(max) as usize;
+    (0..n)
+        .map(|_| match rng.gen_range(3) {
+            0 => Op::Insert(random_key(rng), rng.next_u64()),
+            1 => Op::Remove(random_key(rng)),
+            _ => Op::Get(random_key(rng)),
+        })
+        .collect()
+}
 
-    #[test]
-    fn sparse_map_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+#[test]
+fn sparse_map_matches_hashmap() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed_from(0x5AA5_0000 ^ case);
+        let ops = random_ops(&mut rng, 399);
         let mut sut: SparseHashMap<u64> = SparseHashMap::new();
         let mut reference: HashMap<u64, u64> = HashMap::new();
         for op in ops {
             match op {
                 Op::Insert(k, v) => {
-                    prop_assert_eq!(sut.insert(k, v), reference.insert(k, v));
+                    assert_eq!(sut.insert(k, v), reference.insert(k, v));
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(sut.remove(k), reference.remove(&k));
+                    assert_eq!(sut.remove(k), reference.remove(&k));
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(sut.get(k), reference.get(&k));
+                    assert_eq!(sut.get(k), reference.get(&k));
                 }
             }
-            prop_assert_eq!(sut.len(), reference.len());
+            assert_eq!(sut.len(), reference.len());
         }
         // Full-content check at the end.
         let mut got: Vec<(u64, u64)> = sut.iter().map(|(k, v)| (k, *v)).collect();
         got.sort_unstable();
         let mut want: Vec<(u64, u64)> = reference.into_iter().collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn sparse_map_survives_heavy_churn(seed in any::<u64>()) {
+#[test]
+fn sparse_map_survives_heavy_churn() {
+    for case in 0..32u64 {
+        let seed = SimRng::seed_from(0x5AA5_1000 ^ case).next_u64();
         // Insert/remove the same small key set thousands of times; tombstone
         // handling and in-place rehash must keep the table healthy.
         let mut m: SparseHashMap<u64> = SparseHashMap::new();
         let mut x = seed | 1;
         for round in 0..2_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 32;
             if round % 3 == 2 {
                 m.remove(k);
             } else {
                 m.insert(k, round);
             }
-            prop_assert!(m.len() <= 32);
-            prop_assert!(m.buckets() <= 1024, "table blew up to {}", m.buckets());
+            assert!(m.len() <= 32);
+            assert!(m.buckets() <= 1024, "table blew up to {}", m.buckets());
         }
     }
+}
 
-    #[test]
-    fn sparse_memory_tracks_entries(n in 1usize..2_000) {
+#[test]
+fn sparse_memory_tracks_entries() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::seed_from(0x5AA5_2000 ^ case);
+        let n = 1 + rng.gen_range(1_999) as usize;
         let mut m: SparseHashMap<u64> = SparseHashMap::new();
         for i in 0..n as u64 {
             m.insert(i * 1_000_003, i);
         }
         let mem = m.memory();
-        prop_assert_eq!(mem.entries, n);
+        assert_eq!(mem.entries, n);
         let per = mem.modeled_bytes_per_entry().unwrap();
-        prop_assert!((8.0..10.0).contains(&per), "modeled per-entry {}", per);
+        assert!((8.0..10.0).contains(&per), "modeled per-entry {}", per);
     }
+}
 
-    #[test]
-    fn dense_map_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
-        const SPAN: u64 = 64;
+#[test]
+fn dense_map_matches_hashmap() {
+    const SPAN: u64 = 64;
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed_from(0x5AA5_3000 ^ case);
+        let ops = random_ops(&mut rng, 299);
         let mut sut: DenseMap<u64> = DenseMap::new(SPAN as usize);
         let mut reference: HashMap<u64, u64> = HashMap::new();
         for op in ops {
             match op {
                 Op::Insert(k, v) => {
                     if k < SPAN {
-                        prop_assert_eq!(sut.insert(k, v).unwrap(), reference.insert(k, v));
+                        assert_eq!(sut.insert(k, v).unwrap(), reference.insert(k, v));
                     } else {
-                        prop_assert!(sut.insert(k, v).is_err());
+                        assert!(sut.insert(k, v).is_err());
                     }
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(sut.remove(k), reference.remove(&k));
+                    assert_eq!(sut.remove(k), reference.remove(&k));
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(sut.get(k), reference.get(&k));
+                    assert_eq!(sut.get(k), reference.get(&k));
                 }
             }
-            prop_assert_eq!(sut.len(), reference.len());
+            assert_eq!(sut.len(), reference.len());
         }
     }
 }

@@ -1,13 +1,12 @@
 //! Trace events and containers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
 /// The operation a trace event performs. All requests are single 4 KB
 /// blocks, matching the paper's traces ("All requests are sector-aligned and
 /// 4,096 bytes", Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// A block read.
     Read,
@@ -16,7 +15,7 @@ pub enum OpKind {
 }
 
 /// One trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Disk logical block address (4 KB units).
     pub lba: u64,
@@ -116,22 +115,15 @@ impl Trace {
     ///
     /// I/O errors from the writer.
     pub fn to_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
-        #[derive(Serialize)]
-        struct Header<'a> {
-            name: &'a str,
-            range_blocks: u64,
-        }
-        serde_json::to_writer(
-            &mut w,
-            &Header {
-                name: &self.name,
-                range_blocks: self.range_blocks,
-            },
-        )?;
-        writeln!(w)?;
+        write!(w, "{{\"name\":")?;
+        json::write_string(&mut w, &self.name)?;
+        writeln!(w, ",\"range_blocks\":{}}}", self.range_blocks)?;
         for e in &self.events {
-            serde_json::to_writer(&mut w, e)?;
-            writeln!(w)?;
+            let kind = match e.kind {
+                OpKind::Read => "Read",
+                OpKind::Write => "Write",
+            };
+            writeln!(w, "{{\"lba\":{},\"kind\":\"{kind}\"}}", e.lba)?;
         }
         Ok(())
     }
@@ -144,38 +136,216 @@ impl Trace {
     /// I/O errors, malformed JSON, a missing header, or an event outside the
     /// declared range.
     pub fn from_jsonl<R: BufRead>(r: R) -> io::Result<Self> {
-        #[derive(Deserialize)]
-        struct Header {
-            name: String,
-            range_blocks: u64,
-        }
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         let mut lines = r.lines();
         let header_line = lines
             .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty trace file"))??;
-        let header: Header = serde_json::from_str(&header_line)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            .ok_or_else(|| bad("empty trace file".into()))??;
+        let header = json::parse_object(&header_line).map_err(bad)?;
+        let name = match header.get("name") {
+            Some(json::Value::Str(s)) => s.clone(),
+            _ => return Err(bad("header missing string field `name`".into())),
+        };
+        let range_blocks = match header.get("range_blocks") {
+            Some(json::Value::Num(n)) => *n,
+            _ => return Err(bad("header missing numeric field `range_blocks`".into())),
+        };
         let mut events = Vec::new();
         for line in lines {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
-            let e: TraceEvent = serde_json::from_str(&line)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            if e.lba >= header.range_blocks {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("event lba {} outside range {}", e.lba, header.range_blocks),
-                ));
+            let obj = json::parse_object(&line).map_err(bad)?;
+            let lba = match obj.get("lba") {
+                Some(json::Value::Num(n)) => *n,
+                _ => return Err(bad("event missing numeric field `lba`".into())),
+            };
+            let kind = match obj.get("kind") {
+                Some(json::Value::Str(s)) if s == "Read" => OpKind::Read,
+                Some(json::Value::Str(s)) if s == "Write" => OpKind::Write,
+                _ => return Err(bad("event `kind` must be \"Read\" or \"Write\"".into())),
+            };
+            if lba >= range_blocks {
+                return Err(bad(format!("event lba {lba} outside range {range_blocks}")));
             }
-            events.push(e);
+            events.push(TraceEvent { lba, kind });
         }
         Ok(Trace {
-            name: header.name,
-            range_blocks: header.range_blocks,
+            name,
+            range_blocks,
             events,
         })
+    }
+}
+
+/// Minimal JSON-object reader/writer for the flat `{"key": value}` records
+/// the trace format uses (string and unsigned-integer values only). Written
+/// by hand so the crate builds without a network-fetched serializer.
+mod json {
+    use std::collections::HashMap;
+    use std::io::{self, Write};
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Str(String),
+        Num(u64),
+    }
+
+    /// Writes `s` as a JSON string literal with the escapes the format needs.
+    pub fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+        w.write_all(b"\"")?;
+        for c in s.chars() {
+            match c {
+                '"' => w.write_all(b"\\\"")?,
+                '\\' => w.write_all(b"\\\\")?,
+                '\n' => w.write_all(b"\\n")?,
+                '\r' => w.write_all(b"\\r")?,
+                '\t' => w.write_all(b"\\t")?,
+                c if (c as u32) < 0x20 => write!(w, "\\u{:04x}", c as u32)?,
+                c => write!(w, "{c}")?,
+            }
+        }
+        w.write_all(b"\"")
+    }
+
+    /// Parses one flat JSON object of string/integer fields.
+    pub fn parse_object(line: &str) -> Result<HashMap<String, Value>, String> {
+        let mut p = Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        let map = p.object()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data after object: {line:?}"));
+        }
+        Ok(map)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn object(&mut self) -> Result<HashMap<String, Value>, String> {
+            self.expect(b'{')?;
+            let mut map = HashMap::new();
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b'}') {
+                self.pos += 1;
+                return Ok(map);
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                let value = self.value()?;
+                map.insert(key, value);
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(map);
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b) if b.is_ascii_digit() => Ok(Value::Num(self.number()?)),
+                _ => Err(format!("expected string or integer at byte {}", self.pos)),
+            }
+        }
+
+        fn number(&mut self) -> Result<u64, String> {
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad integer at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self
+                            .bytes
+                            .get(self.pos)
+                            .ok_or("unterminated escape".to_string())?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape".to_string())?;
+                                self.pos += 4;
+                                let code = std::str::from_utf8(hex)
+                                    .ok()
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or("bad \\u escape".to_string())?;
+                                out.push(
+                                    char::from_u32(code).ok_or("bad \\u code point".to_string())?,
+                                );
+                            }
+                            other => return Err(format!("bad escape \\{}", *other as char)),
+                        }
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (multi-byte safe).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid utf-8".to_string())?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -241,12 +411,31 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_exact_format() {
+        let t = Trace::new("w \"q\"", 8, vec![TraceEvent::read(3)]);
+        let mut buf = Vec::new();
+        t.to_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            text,
+            "{\"name\":\"w \\\"q\\\"\",\"range_blocks\":8}\n{\"lba\":3,\"kind\":\"Read\"}\n"
+        );
+        let back = Trace::from_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
     fn jsonl_rejects_garbage() {
         assert!(Trace::from_jsonl("not json\n".as_bytes()).is_err());
         assert!(Trace::from_jsonl("".as_bytes()).is_err());
         // Event outside declared range.
         let bad = "{\"name\":\"x\",\"range_blocks\":4}\n{\"lba\":9,\"kind\":\"Read\"}\n";
         assert!(Trace::from_jsonl(bad.as_bytes()).is_err());
+        // Malformed event object.
+        let bad2 = "{\"name\":\"x\",\"range_blocks\":4}\n{\"lba\":1,\"kind\":\"Frob\"}\n";
+        assert!(Trace::from_jsonl(bad2.as_bytes()).is_err());
+        let bad3 = "{\"name\":\"x\",\"range_blocks\":4}\n{\"lba\":1}trailing\n";
+        assert!(Trace::from_jsonl(bad3.as_bytes()).is_err());
     }
 
     #[test]

@@ -1,27 +1,28 @@
 //! Property tests for trace generation and statistics.
+//!
+//! Cases come from the deterministic `simkit::SimRng`; failures reproduce
+//! by case number.
 
-use proptest::prelude::*;
+use simkit::SimRng;
 use trace::{generate, Trace, TraceEvent, TraceStats, WorkloadSpec};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_traces_respect_their_spec(
-        seed in any::<u64>(),
-        base in 0usize..4,
-        factor in 400.0f64..4000.0,
-    ) {
+#[test]
+fn generated_traces_respect_their_spec() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::seed_from(0x7AAC_E000 ^ case);
+        let seed = rng.next_u64();
+        let base = rng.gen_range(4) as usize;
+        let factor = 400.0 + rng.gen_f64() * 3_600.0;
         let mut spec = WorkloadSpec::paper_four()[base].scaled(factor);
         spec.seed = seed;
         let t = generate(&spec);
-        prop_assert_eq!(t.len() as u64, spec.total_ops);
-        prop_assert!(t.iter().all(|e| e.lba < spec.range_blocks));
+        assert_eq!(t.len() as u64, spec.total_ops);
+        assert!(t.iter().all(|e| e.lba < spec.range_blocks));
         let stats = TraceStats::compute(&t);
-        prop_assert!(stats.unique_blocks <= spec.range_blocks);
+        assert!(stats.unique_blocks <= spec.range_blocks);
         // The steered write mix converges for non-trivial traces.
         if spec.total_ops > 5_000 {
-            prop_assert!(
+            assert!(
                 (stats.write_fraction() - spec.write_fraction).abs() < 0.05,
                 "write fraction {} vs spec {}",
                 stats.write_fraction(),
@@ -29,49 +30,62 @@ proptest! {
             );
         }
     }
+}
 
-    #[test]
-    fn stats_are_consistent_for_arbitrary_traces(
-        lbas in proptest::collection::vec((0u64..1000, any::<bool>()), 1..500),
-    ) {
-        let events: Vec<TraceEvent> = lbas
-            .iter()
-            .map(|&(lba, w)| if w { TraceEvent::write(lba) } else { TraceEvent::read(lba) })
-            .collect();
+fn random_events(rng: &mut SimRng, span: u64, min: usize, max: usize) -> Vec<TraceEvent> {
+    let n = min + rng.gen_range((max - min) as u64) as usize;
+    (0..n)
+        .map(|_| {
+            let lba = rng.gen_range(span);
+            if rng.gen_bool(0.5) {
+                TraceEvent::write(lba)
+            } else {
+                TraceEvent::read(lba)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn stats_are_consistent_for_arbitrary_traces() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::seed_from(0x7AAC_E100 ^ case);
+        let events = random_events(&mut rng, 1000, 1, 500);
         let t = Trace::new("prop", 1000, events);
         let stats = TraceStats::compute(&t);
-        prop_assert_eq!(stats.total_ops, t.len() as u64);
+        assert_eq!(stats.total_ops, t.len() as u64);
         // Hot share is monotone in the fraction.
         let s25 = stats.hot_access_share(0.25);
         let s50 = stats.hot_access_share(0.50);
         let s100 = stats.hot_access_share(1.0);
-        prop_assert!(s25 <= s50 + 1e-9 && s50 <= s100 + 1e-9);
-        prop_assert!((s100 - 1.0).abs() < 1e-9);
+        assert!(s25 <= s50 + 1e-9 && s50 <= s100 + 1e-9);
+        assert!((s100 - 1.0).abs() < 1e-9);
         // Top blocks are unique and within range.
         let top = stats.top_blocks(0.5);
         let mut dedup = top.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), top.len());
+        assert_eq!(dedup.len(), top.len());
         // Writes-per-block: the hot mean is at least the tail mean would
         // allow (hot set is by total accesses, so no strict guarantee, but
         // the global mean decomposition must hold).
         let (hot, all) = stats.writes_per_block(1.0);
-        prop_assert!((hot - all).abs() < 1e-9, "full fraction means equal: {hot} vs {all}");
+        assert!(
+            (hot - all).abs() < 1e-9,
+            "full fraction means equal: {hot} vs {all}"
+        );
     }
+}
 
-    #[test]
-    fn jsonl_round_trips_arbitrary_traces(
-        lbas in proptest::collection::vec((0u64..512, any::<bool>()), 0..200),
-    ) {
-        let events: Vec<TraceEvent> = lbas
-            .iter()
-            .map(|&(lba, w)| if w { TraceEvent::write(lba) } else { TraceEvent::read(lba) })
-            .collect();
+#[test]
+fn jsonl_round_trips_arbitrary_traces() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::seed_from(0x7AAC_E200 ^ case);
+        let events = random_events(&mut rng, 512, 0, 200);
         let t = Trace::new("roundtrip", 512, events);
         let mut buf = Vec::new();
         t.to_jsonl(&mut buf).unwrap();
         let back = Trace::from_jsonl(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
 }
