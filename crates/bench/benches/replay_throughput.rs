@@ -1,85 +1,37 @@
 //! Replay-throughput micro-benchmark: host CPU cost of driving each cache
 //! system through a deterministic Zipf trace in `Discard` mode. The
 //! `perf_replay` binary is the scriptable JSON-emitting variant of the same
-//! measurement; this target gives per-system timing distributions.
+//! measurement (sharing its workload and system construction through
+//! `flashtier_bench::replay`); this target gives per-system timing
+//! distributions.
 
-use cachemgr::{replay, FlashTierWb, FlashTierWt, NativeCache, NativeConsistency, NativeMode};
-use disksim::{Disk, DiskConfig, DiskDataMode};
-use flashsim::{DataMode, FlashConfig};
+use cachemgr::replay;
 use flashtier_bench::microbench::Group;
-use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
-use ftl::{HybridFtl, SsdConfig};
-use trace::{generate, Trace, WorkloadSpec};
+use flashtier_bench::replay::ReplaySetup;
 
 const EVENTS: u64 = 200_000;
 
-fn workload() -> Trace {
-    generate(&WorkloadSpec {
-        name: "zipf-bench".into(),
-        range_blocks: 1 << 18,
-        unique_blocks: 1 << 14,
-        total_ops: EVENTS,
-        write_fraction: 0.30,
-        zipf_theta: 0.99,
-        seq_run_prob: 0.20,
-        seq_run_len: 16,
-        seed: 0xBEAC_0002,
-    })
-}
-
-fn flash() -> FlashConfig {
-    FlashConfig::with_capacity_bytes(16 << 20)
-}
-
-fn disk(range: u64) -> Disk {
-    Disk::new(
-        DiskConfig {
-            capacity_blocks: range,
-            ..DiskConfig::paper_default()
-        },
-        DiskDataMode::Discard,
-    )
-}
-
 fn main() {
-    let t = workload();
-    let range = t.range_blocks;
+    let setup = ReplaySetup::micro(EVENTS);
+    let t = setup.workload();
     let mut group = Group::new("replay-throughput");
     group.sample_size(5);
 
     group.bench_batched(
         "flashtier-wt",
-        || {
-            let config = SscConfig::ssc(flash())
-                .with_data_mode(DataMode::Discard)
-                .with_consistency(ConsistencyMode::CleanAndDirty);
-            FlashTierWt::new(Ssc::new(config), disk(range))
-        },
+        || setup.flashtier_wt(),
         |mut system| replay(&mut system, &t.events).unwrap(),
     );
 
     group.bench_batched(
         "flashtier-wb",
-        || {
-            let config = SscConfig::ssc_r(flash())
-                .with_data_mode(DataMode::Discard)
-                .with_consistency(ConsistencyMode::DirtyOnly);
-            FlashTierWb::new(Ssc::new(config), disk(range))
-        },
+        || setup.flashtier_wb(),
         |mut system| replay(&mut system, &t.events).unwrap(),
     );
 
     group.bench_batched(
         "native-wb",
-        || {
-            let ssd = HybridFtl::new(SsdConfig::paper_default(flash()), DataMode::Discard);
-            NativeCache::new(
-                ssd,
-                disk(range),
-                NativeMode::WriteBack,
-                NativeConsistency::Durable,
-            )
-        },
+        || setup.native_wb(),
         |mut system| replay(&mut system, &t.events).unwrap(),
     );
 }

@@ -1,176 +1,97 @@
 //! Wall-clock replay-throughput gate: replays a deterministic Zipf workload
-//! through all four cache systems in `Discard` mode and prints one JSON
-//! line with events/sec and wall-clock seconds per system.
+//! through the cache systems in `Discard` mode and prints one JSON line
+//! with events/sec, wall-clock seconds, event count and mode per system.
 //!
 //! This measures *host* CPU cost of the simulator itself (the quantity the
-//! allocation-free data path optimizes), not simulated device time. Run
-//! with `--events N` to size the workload (default 1,000,000).
+//! control-path indexes and the allocation-free data path optimize), not
+//! simulated device time. The systems replay concurrently on scoped
+//! threads — each gets its own device stack and the trace is shared
+//! read-only — so on a multi-core host the run is bounded by the slowest
+//! system, not the sum. The aggregate rate divides total events by the
+//! wall time of the whole concurrent region. Per-system `sim_time_us` is
+//! seed-deterministic and independent of scheduling.
+//!
+//! Flags:
+//! * `--events N` — workload size (default 1,000,000)
+//! * `--seed S` — workload PRNG seed (default the committed gate seed;
+//!   changing it changes `sim_time_us`)
+//! * `--systems a,b,...` — comma-separated subset of
+//!   `flashtier_wt,flashtier_wb,native_wb,facade_wt` (default all four)
 
 use std::time::Instant;
 
-use cachemgr::{
-    replay, write_payload_into, ByteFacade, CacheSystem, FlashTierWb, FlashTierWt, NativeCache,
-    NativeConsistency, NativeMode, PageBuf,
-};
-use disksim::{Disk, DiskConfig, DiskDataMode};
-use flashsim::{DataMode, FlashConfig};
-use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
-use ftl::{HybridFtl, SsdConfig};
-use trace::{generate, Trace, WorkloadSpec};
+use flashtier_bench::replay::{run_system, ReplaySetup, ReplaySystem, SystemResult};
 
-/// Flash cache capacity: 64 MB = 16 Ki pages, ~25% of the unique blocks.
-const FLASH_BYTES: u64 = 64 << 20;
-
-fn zipf_workload(events: u64) -> Trace {
-    generate(&WorkloadSpec {
-        name: "zipf-replay".into(),
-        range_blocks: 1 << 20, // 4 GB volume
-        unique_blocks: 1 << 16,
-        total_ops: events,
-        write_fraction: 0.30,
-        zipf_theta: 0.99,
-        seq_run_prob: 0.20,
-        seq_run_len: 16,
-        seed: 0xBEAC_0001,
-    })
-}
-
-fn flash() -> FlashConfig {
-    FlashConfig::with_capacity_bytes(FLASH_BYTES)
-}
-
-fn disk(range: u64) -> Disk {
-    Disk::new(
-        DiskConfig {
-            capacity_blocks: range,
-            ..DiskConfig::paper_default()
-        },
-        DiskDataMode::Discard,
-    )
-}
-
-struct SystemResult {
-    name: &'static str,
-    wall_s: f64,
-    events_per_sec: f64,
-    sim_time_us: u64,
-}
-
-fn time_system<S: CacheSystem>(name: &'static str, mut system: S, t: &Trace) -> SystemResult {
-    let start = Instant::now();
-    let stats = replay(&mut system, &t.events).expect("replay");
-    let wall = start.elapsed().as_secs_f64();
-    SystemResult {
-        name,
-        wall_s: wall,
-        events_per_sec: stats.ops as f64 / wall,
-        sim_time_us: stats.sim_time.as_micros(),
-    }
-}
-
-/// The byte-level facade path: every event becomes a one-block byte span,
-/// exercising the span-assembly read path on top of the write-through
-/// manager.
-fn time_facade(t: &Trace) -> SystemResult {
-    let config = SscConfig::ssc(flash())
-        .with_data_mode(DataMode::Discard)
-        .with_consistency(ConsistencyMode::CleanAndDirty);
-    let inner = FlashTierWt::new(Ssc::new(config), disk(t.range_blocks));
-    let block = inner.block_size();
-    let mut facade = ByteFacade::new(inner);
-    let mut read_buf = PageBuf::with_capacity(block);
-    let mut payload_buf = PageBuf::with_capacity(block);
-    let mut sim_time_us = 0u64;
-    let start = Instant::now();
-    for (i, e) in t.events.iter().enumerate() {
-        let offset = e.lba * block as u64;
-        let cost = if e.is_write() {
-            write_payload_into(e.lba, i as u64, block, &mut payload_buf);
-            facade
-                .write_bytes(offset, &payload_buf)
-                .expect("facade write")
-        } else {
-            facade
-                .read_bytes_into(offset, block, &mut read_buf)
-                .expect("facade read")
-        };
-        sim_time_us += cost.as_micros();
-    }
-    let wall = start.elapsed().as_secs_f64();
-    SystemResult {
-        name: "facade_wt",
-        wall_s: wall,
-        events_per_sec: t.events.len() as f64 / wall,
-        sim_time_us,
-    }
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let events: u64 = args
-        .windows(2)
-        .find(|w| w[0] == "--events")
-        .and_then(|w| w[1].parse().ok())
+    let events: u64 = flag_value(&args, "--events")
+        .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000);
+    let mut setup = ReplaySetup::perf(events);
+    if let Some(seed) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+        setup = setup.with_seed(seed);
+    }
+    let systems: Vec<ReplaySystem> = match flag_value(&args, "--systems") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                ReplaySystem::parse(s.trim()).unwrap_or_else(|| {
+                    eprintln!("unknown system {s:?}; valid: flashtier_wt,flashtier_wb,native_wb,facade_wt");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => ReplaySystem::ALL.to_vec(),
+    };
 
-    let t = zipf_workload(events);
-    let range = t.range_blocks;
+    let t = setup.workload();
 
-    let mut results = Vec::new();
-    results.push(time_system(
-        "flashtier_wt",
-        {
-            let config = SscConfig::ssc(flash())
-                .with_data_mode(DataMode::Discard)
-                .with_consistency(ConsistencyMode::CleanAndDirty);
-            FlashTierWt::new(Ssc::new(config), disk(range))
-        },
-        &t,
-    ));
-    results.push(time_system(
-        "flashtier_wb",
-        {
-            let config = SscConfig::ssc_r(flash())
-                .with_data_mode(DataMode::Discard)
-                .with_consistency(ConsistencyMode::DirtyOnly);
-            FlashTierWb::new(Ssc::new(config), disk(range))
-        },
-        &t,
-    ));
-    results.push(time_system(
-        "native_wb",
-        {
-            let ssd = HybridFtl::new(SsdConfig::paper_default(flash()), DataMode::Discard);
-            NativeCache::new(
-                ssd,
-                disk(range),
-                NativeMode::WriteBack,
-                NativeConsistency::Durable,
-            )
-        },
-        &t,
-    ));
-    results.push(time_facade(&t));
+    // One scoped thread per system; the trace is shared by reference. Join
+    // order preserves the requested reporting order.
+    let region_start = Instant::now();
+    let results: Vec<SystemResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = systems
+            .iter()
+            .map(|&kind| {
+                let setup = &setup;
+                let t = &t;
+                scope.spawn(move || run_system(kind, setup, t))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay thread"))
+            .collect()
+    });
+    let region_wall = region_start.elapsed().as_secs_f64();
 
-    let total_wall: f64 = results.iter().map(|r| r.wall_s).sum();
-    let total_events_per_sec = (events as f64 * results.len() as f64) / total_wall;
+    let total_events: u64 = results.iter().map(|r| r.events).sum();
+    let aggregate = total_events as f64 / region_wall;
 
     // One JSON line, hand-assembled (the repo builds offline).
     let mut json = format!(
         "{{\"bench\":\"perf_replay\",\"workload\":\"zipf\",\"theta\":0.99,\
-         \"events\":{events},\"mode\":\"discard\",\"systems\":{{"
+         \"events\":{events},\"seed\":{},\"mode\":\"discard\",\"systems\":{{",
+        setup.seed
     );
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         json.push_str(&format!(
-            "\"{}\":{{\"wall_s\":{:.4},\"events_per_sec\":{:.0},\"sim_time_us\":{}}}",
-            r.name, r.wall_s, r.events_per_sec, r.sim_time_us
+            "\"{}\":{{\"events\":{},\"mode\":\"discard\",\"wall_s\":{:.4},\
+             \"events_per_sec\":{:.0},\"sim_time_us\":{}}}",
+            r.name, r.events, r.wall_s, r.events_per_sec, r.sim_time_us
         ));
     }
     json.push_str(&format!(
-        "}},\"total_wall_s\":{total_wall:.4},\"aggregate_events_per_sec\":{total_events_per_sec:.0}}}"
+        "}},\"total_wall_s\":{region_wall:.4},\"aggregate_events_per_sec\":{aggregate:.0}}}"
     ));
     println!("{json}");
 }

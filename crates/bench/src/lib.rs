@@ -18,6 +18,7 @@ pub mod build;
 pub mod experiments;
 pub mod microbench;
 pub mod prelude;
+pub mod replay;
 pub mod scaled;
 pub mod tablefmt;
 

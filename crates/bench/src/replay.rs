@@ -1,0 +1,245 @@
+//! Shared setup for the replay-throughput measurements.
+//!
+//! Both the `perf_replay` gate binary and the `replay_throughput`
+//! micro-benchmark replay the same deterministic Zipf workload through the
+//! four cache systems in `Discard` mode; this module owns the workload
+//! parameters and the system constructors so the two targets cannot drift
+//! apart. The measurement is *host* CPU cost of the simulator (the quantity
+//! the control-path indexes and the allocation-free data path optimize),
+//! not simulated device time — but each run also reports total simulated
+//! time, which must be byte-for-byte reproducible for a given seed.
+
+use std::time::Instant;
+
+use cachemgr::{
+    replay, write_payload_into, ByteFacade, CacheSystem, FlashTierWb, FlashTierWt, NativeCache,
+    NativeConsistency, NativeMode, PageBuf,
+};
+use disksim::{Disk, DiskConfig, DiskDataMode};
+use flashsim::{DataMode, FlashConfig};
+use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
+use ftl::{HybridFtl, SsdConfig};
+use trace::{generate, Trace, WorkloadSpec};
+
+/// Workload and device sizing for one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplaySetup {
+    /// Workload name recorded in the trace.
+    pub name: &'static str,
+    /// Events to replay.
+    pub events: u64,
+    /// Disk address span in blocks.
+    pub range_blocks: u64,
+    /// Distinct blocks the workload touches.
+    pub unique_blocks: u64,
+    /// Flash cache capacity in bytes.
+    pub flash_bytes: u64,
+    /// Workload PRNG seed.
+    pub seed: u64,
+}
+
+impl ReplaySetup {
+    /// The `perf_replay` gate configuration: a 4 GB volume with a 64 MB
+    /// flash cache (16 Ki pages, ~25% of the unique blocks).
+    pub fn perf(events: u64) -> Self {
+        ReplaySetup {
+            name: "zipf-replay",
+            events,
+            range_blocks: 1 << 20,
+            unique_blocks: 1 << 16,
+            flash_bytes: 64 << 20,
+            seed: 0xBEAC_0001,
+        }
+    }
+
+    /// The `replay_throughput` micro-benchmark configuration: smaller span
+    /// and cache so a sample finishes quickly.
+    pub fn micro(events: u64) -> Self {
+        ReplaySetup {
+            name: "zipf-bench",
+            events,
+            range_blocks: 1 << 18,
+            unique_blocks: 1 << 14,
+            flash_bytes: 16 << 20,
+            seed: 0xBEAC_0002,
+        }
+    }
+
+    /// Overrides the workload seed (perf_replay's `--seed`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the deterministic Zipf trace for this setup.
+    pub fn workload(&self) -> Trace {
+        generate(&WorkloadSpec {
+            name: self.name.into(),
+            range_blocks: self.range_blocks,
+            unique_blocks: self.unique_blocks,
+            total_ops: self.events,
+            write_fraction: 0.30,
+            zipf_theta: 0.99,
+            seq_run_prob: 0.20,
+            seq_run_len: 16,
+            seed: self.seed,
+        })
+    }
+
+    /// Flash configuration for the cache device.
+    pub fn flash(&self) -> FlashConfig {
+        FlashConfig::with_capacity_bytes(self.flash_bytes)
+    }
+
+    /// Disk tier covering the workload span.
+    pub fn disk(&self) -> Disk {
+        Disk::new(
+            DiskConfig {
+                capacity_blocks: self.range_blocks,
+                ..DiskConfig::paper_default()
+            },
+            DiskDataMode::Discard,
+        )
+    }
+
+    /// FlashTier write-through: SSC with clean+dirty durable maps.
+    pub fn flashtier_wt(&self) -> FlashTierWt {
+        let config = SscConfig::ssc(self.flash())
+            .with_data_mode(DataMode::Discard)
+            .with_consistency(ConsistencyMode::CleanAndDirty);
+        FlashTierWt::new(Ssc::new(config), self.disk())
+    }
+
+    /// FlashTier write-back: SSC-R with dirty-only durable maps.
+    pub fn flashtier_wb(&self) -> FlashTierWb {
+        let config = SscConfig::ssc_r(self.flash())
+            .with_data_mode(DataMode::Discard)
+            .with_consistency(ConsistencyMode::DirtyOnly);
+        FlashTierWb::new(Ssc::new(config), self.disk())
+    }
+
+    /// Native write-back: FlashCache-style manager over the hybrid FTL,
+    /// persisting metadata on every dirty-state change.
+    pub fn native_wb(&self) -> NativeCache<HybridFtl> {
+        let ssd = HybridFtl::new(SsdConfig::paper_default(self.flash()), DataMode::Discard);
+        NativeCache::new(
+            ssd,
+            self.disk(),
+            NativeMode::WriteBack,
+            NativeConsistency::Durable,
+        )
+    }
+}
+
+/// The systems a replay run can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplaySystem {
+    /// FlashTier write-through over the SSC.
+    FlashtierWt,
+    /// FlashTier write-back over the SSC-R.
+    FlashtierWb,
+    /// Native write-back over the hybrid FTL.
+    NativeWb,
+    /// Byte-span facade over the write-through manager.
+    FacadeWt,
+}
+
+impl ReplaySystem {
+    /// All four systems, in the canonical reporting order.
+    pub const ALL: [ReplaySystem; 4] = [
+        ReplaySystem::FlashtierWt,
+        ReplaySystem::FlashtierWb,
+        ReplaySystem::NativeWb,
+        ReplaySystem::FacadeWt,
+    ];
+
+    /// The JSON/report key for this system.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplaySystem::FlashtierWt => "flashtier_wt",
+            ReplaySystem::FlashtierWb => "flashtier_wb",
+            ReplaySystem::NativeWb => "native_wb",
+            ReplaySystem::FacadeWt => "facade_wt",
+        }
+    }
+
+    /// Parses a `--systems` list element (the JSON key spelling).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// One system's replay measurement.
+#[derive(Debug, Clone)]
+pub struct SystemResult {
+    /// System key (see [`ReplaySystem::name`]).
+    pub name: &'static str,
+    /// Events replayed through this system.
+    pub events: u64,
+    /// Wall-clock seconds this system's replay took (its own thread's
+    /// start-to-finish time when systems run concurrently).
+    pub wall_s: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Total simulated time — seed-deterministic, independent of host
+    /// speed or scheduling.
+    pub sim_time_us: u64,
+}
+
+fn timed<S: CacheSystem>(kind: ReplaySystem, mut system: S, t: &Trace) -> SystemResult {
+    let start = Instant::now();
+    let stats = replay(&mut system, &t.events).expect("replay");
+    let wall = start.elapsed().as_secs_f64();
+    SystemResult {
+        name: kind.name(),
+        events: stats.ops,
+        wall_s: wall,
+        events_per_sec: stats.ops as f64 / wall,
+        sim_time_us: stats.sim_time.as_micros(),
+    }
+}
+
+/// The byte-level facade path: every event becomes a one-block byte span,
+/// exercising the span-assembly read path on top of the write-through
+/// manager.
+fn timed_facade(setup: &ReplaySetup, t: &Trace) -> SystemResult {
+    let inner = setup.flashtier_wt();
+    let block = inner.block_size();
+    let mut facade = ByteFacade::new(inner);
+    let mut read_buf = PageBuf::with_capacity(block);
+    let mut payload_buf = PageBuf::with_capacity(block);
+    let mut sim_time_us = 0u64;
+    let start = Instant::now();
+    for (i, e) in t.events.iter().enumerate() {
+        let offset = e.lba * block as u64;
+        let cost = if e.is_write() {
+            write_payload_into(e.lba, i as u64, block, &mut payload_buf);
+            facade
+                .write_bytes(offset, &payload_buf)
+                .expect("facade write")
+        } else {
+            facade
+                .read_bytes_into(offset, block, &mut read_buf)
+                .expect("facade read")
+        };
+        sim_time_us += cost.as_micros();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    SystemResult {
+        name: ReplaySystem::FacadeWt.name(),
+        events: t.events.len() as u64,
+        wall_s: wall,
+        events_per_sec: t.events.len() as f64 / wall,
+        sim_time_us,
+    }
+}
+
+/// Builds and replays one system against a pre-generated trace.
+pub fn run_system(kind: ReplaySystem, setup: &ReplaySetup, t: &Trace) -> SystemResult {
+    match kind {
+        ReplaySystem::FlashtierWt => timed(kind, setup.flashtier_wt(), t),
+        ReplaySystem::FlashtierWb => timed(kind, setup.flashtier_wb(), t),
+        ReplaySystem::NativeWb => timed(kind, setup.native_wb(), t),
+        ReplaySystem::FacadeWt => timed_facade(setup, t),
+    }
+}

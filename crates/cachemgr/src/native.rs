@@ -13,12 +13,10 @@
 //! metadata to a reserved SSD region on every dirty-state change — the
 //! consistency cost FlashTier's logging replaces (Figure 4).
 
-use std::collections::HashMap;
-
 use disksim::Disk;
 use ftl::BlockDev;
 use simkit::{Duration, PageBuf};
-use sparsemap::MapMemory;
+use sparsemap::{MapMemory, SparseHashMap};
 
 use crate::lru::LruList;
 use crate::metrics::MgrCounters;
@@ -63,12 +61,19 @@ pub struct NativeCache<D: BlockDev> {
     disk: Disk,
     mode: NativeMode,
     consistency: NativeConsistency,
-    /// Disk LBA -> cache slot.
-    table: HashMap<u64, u32>,
+    /// Disk LBA -> cache slot. Integer-hashed open addressing: this table
+    /// is probed on every host read and write.
+    table: SparseHashMap<u32>,
     /// Per-slot metadata; `None` = free.
     meta: Vec<Option<SlotMeta>>,
     free: Vec<u32>,
     lru: LruList,
+    /// Dirty slots only, kept in the same relative order as [`lru`] — an
+    /// incrementally maintained index so the cleaner finds its LRU dirty
+    /// victim in O(1) instead of scanning the whole replacement list. Its
+    /// membership always equals `meta[s].dirty`, and its order the main
+    /// list's order restricted to dirty slots (oracle-tested below).
+    dirty_lru: LruList,
     dirty_count: usize,
     dirty_limit: usize,
     /// First SSD page of the reserved metadata region.
@@ -77,8 +82,12 @@ pub struct NativeCache<D: BlockDev> {
     counters: MgrCounters,
     /// Reusable buffer for victim write-backs and cleaner reads.
     victim_buf: PageBuf,
-    /// Reusable buffer for encoded metadata pages.
-    md_buf: PageBuf,
+    /// Encoded metadata pages, kept in lockstep with `meta` (empty unless
+    /// the configuration persists metadata). Each slot's 22-byte entry is
+    /// re-encoded when that slot changes, so persisting a page is a single
+    /// device write instead of a full page re-encode (zero-fill plus one
+    /// CRC per entry) on every dirty-state change.
+    md_cache: Vec<Box<[u8]>>,
 }
 
 impl<D: BlockDev> NativeCache<D> {
@@ -93,23 +102,31 @@ impl<D: BlockDev> NativeCache<D> {
         // Solve slots + ceil(slots/entries_per_page) <= total.
         let slots = (total * md_entries_per_page / (md_entries_per_page + 1)).max(1);
         let dirty_limit = ((slots as f64 * 0.20) as usize).max(1);
-        NativeCache {
+        let mut cache = NativeCache {
             ssd,
             disk,
             mode,
             consistency,
-            table: HashMap::new(),
+            table: SparseHashMap::new(),
             meta: vec![None; slots as usize],
             free: (0..slots as u32).rev().collect(),
             lru: LruList::new(slots as usize),
+            dirty_lru: LruList::new(slots as usize),
             dirty_count: 0,
             dirty_limit,
             md_base: slots,
             md_entries_per_page,
             counters: MgrCounters::default(),
             victim_buf: PageBuf::new(),
-            md_buf: PageBuf::new(),
-        }
+            md_cache: Vec::new(),
+        };
+        cache.rebuild_md_cache();
+        cache
+    }
+
+    /// Whether this configuration persists (and therefore caches) metadata.
+    fn persists_metadata(&self) -> bool {
+        self.consistency == NativeConsistency::Durable && self.mode == NativeMode::WriteBack
     }
 
     /// The SSD cache device.
@@ -154,19 +171,55 @@ impl<D: BlockDev> NativeCache<D> {
         }
     }
 
+    /// Re-encodes every metadata page from `meta` into the cache (or clears
+    /// it in configurations that never persist). The resulting bytes are
+    /// exactly what [`NativeCache::encode_md_page`] would produce.
+    fn rebuild_md_cache(&mut self) {
+        if !self.persists_metadata() {
+            self.md_cache.clear();
+            return;
+        }
+        let md_pages = (self.meta.len() as u64).div_ceil(self.md_entries_per_page);
+        let mut buf = PageBuf::new();
+        let mut cache = Vec::with_capacity(md_pages as usize);
+        for page_index in 0..md_pages {
+            self.encode_md_page(page_index, &mut buf);
+            cache.push(buf.as_slice().to_vec().into_boxed_slice());
+        }
+        self.md_cache = cache;
+    }
+
+    /// Re-encodes the cached 22-byte entry for `slot` after its `meta`
+    /// changed. Must be called at every `meta` mutation site so the cache
+    /// stays bit-identical to a fresh [`NativeCache::encode_md_page`].
+    fn sync_md_entry(&mut self, slot: u32) {
+        if self.md_cache.is_empty() {
+            return;
+        }
+        let page = (slot as u64 / self.md_entries_per_page) as usize;
+        let offset = (slot as u64 % self.md_entries_per_page * NATIVE_ENTRY_BYTES) as usize;
+        let entry = &mut self.md_cache[page][offset..offset + NATIVE_ENTRY_BYTES as usize];
+        entry.fill(0);
+        if let Some(meta) = self.meta[slot as usize] {
+            entry[0..8].copy_from_slice(&meta.lba.to_le_bytes());
+            entry[8] = 1 | if meta.dirty { 2 } else { 0 };
+        }
+        let crc = simkit::crc32(&entry[0..18]);
+        entry[18..22].copy_from_slice(&crc.to_le_bytes());
+    }
+
     /// Persists the metadata page covering `slot` to the SSD (a no-op
     /// without durability or in write-through mode, which cannot recover).
     fn persist_metadata(&mut self, slot: u32) -> Result<Duration> {
-        if self.consistency != NativeConsistency::Durable || self.mode != NativeMode::WriteBack {
+        if !self.persists_metadata() {
             return Ok(Duration::ZERO);
         }
         let page_index = slot as u64 / self.md_entries_per_page;
-        let mut md_buf = std::mem::take(&mut self.md_buf);
-        self.encode_md_page(page_index, &mut md_buf);
         self.counters.metadata_writes += 1;
-        let result = self.ssd.write(self.md_base + page_index, &md_buf);
-        self.md_buf = md_buf;
-        Ok(result?)
+        Ok(self.ssd.write(
+            self.md_base + page_index,
+            &self.md_cache[page_index as usize],
+        )?)
     }
 
     /// Simulates a crash followed by recovery of the manager's state from
@@ -190,6 +243,7 @@ impl<D: BlockDev> NativeCache<D> {
         self.meta = vec![None; slots];
         self.free = (0..slots as u32).rev().collect();
         self.lru = LruList::new(slots);
+        self.dirty_lru = LruList::new(slots);
         self.dirty_count = 0;
         if self.consistency != NativeConsistency::Durable || self.mode != NativeMode::WriteBack {
             return Ok(Duration::ZERO);
@@ -235,9 +289,12 @@ impl<D: BlockDev> NativeCache<D> {
             self.table.insert(meta.lba, slot);
             self.lru.push_front(slot);
             if meta.dirty {
+                self.dirty_lru.push_front(slot);
                 self.dirty_count += 1;
             }
         }
+        // `meta` was replaced wholesale; re-derive the encoded pages.
+        self.rebuild_md_cache();
         Ok(cost)
     }
 
@@ -248,10 +305,16 @@ impl<D: BlockDev> NativeCache<D> {
         }
         meta.dirty = dirty;
         if dirty {
+            // Dirtying always happens right after the slot moved to the
+            // front of the main list, so fronting it here keeps the dirty
+            // index in the main list's relative order.
+            self.dirty_lru.push_front(slot);
             self.dirty_count += 1;
         } else {
+            self.dirty_lru.remove(slot);
             self.dirty_count -= 1;
         }
+        self.sync_md_entry(slot);
         self.persist_metadata(slot)
     }
 
@@ -266,11 +329,13 @@ impl<D: BlockDev> NativeCache<D> {
             // Write the dirty victim back to disk first.
             *cost += self.ssd.read_into(victim as u64, &mut self.victim_buf)?;
             *cost += self.disk.write(meta.lba, &self.victim_buf)?;
+            self.dirty_lru.remove(victim);
             self.dirty_count -= 1;
             self.counters.writebacks += 1;
         }
-        self.table.remove(&meta.lba);
+        self.table.remove(meta.lba);
         self.meta[victim as usize] = None;
+        self.sync_md_entry(victim);
         // Invalidation is a metadata update (§2): persist it so recovery
         // can never resurrect the old mapping onto reused data.
         *cost += self.persist_metadata(victim)?;
@@ -280,18 +345,23 @@ impl<D: BlockDev> NativeCache<D> {
 
     /// Installs `data` for `lba` in the cache with the given dirty state.
     fn install(&mut self, lba: u64, data: &[u8], dirty: bool, cost: &mut Duration) -> Result<u32> {
-        if let Some(&slot) = self.table.get(&lba) {
+        if let Some(&slot) = self.table.get(lba) {
             *cost += self.ssd.write(slot as u64, data)?;
             self.lru.touch(slot);
+            if self.meta[slot as usize].is_some_and(|m| m.dirty) {
+                self.dirty_lru.touch(slot);
+            }
             *cost += self.set_dirty(slot, dirty)?;
             return Ok(slot);
         }
         let slot = self.take_slot(cost)?;
         *cost += self.ssd.write(slot as u64, data)?;
         self.meta[slot as usize] = Some(SlotMeta { lba, dirty });
+        self.sync_md_entry(slot);
         self.table.insert(lba, slot);
         self.lru.push_front(slot);
         if dirty {
+            self.dirty_lru.push_front(slot);
             self.dirty_count += 1;
             *cost += self.persist_metadata(slot)?;
         }
@@ -302,11 +372,11 @@ impl<D: BlockDev> NativeCache<D> {
     fn clean_down_to(&mut self, target: usize) -> Result<Duration> {
         let mut cost = Duration::ZERO;
         while self.dirty_count > target {
-            let victim = self
-                .lru
-                .iter_lru()
-                .find(|&s| self.meta[s as usize].is_some_and(|m| m.dirty));
-            let Some(slot) = victim else { break };
+            // The dirty index mirrors the main list's order, so its back is
+            // exactly what a tail-to-head scan for a dirty slot would find.
+            let Some(slot) = self.dirty_lru.back() else {
+                break;
+            };
             let lba = self.meta[slot as usize].expect("dirty slot in use").lba;
             cost += self.ssd.read_into(slot as u64, &mut self.victim_buf)?;
             cost += self.disk.write(lba, &self.victim_buf)?;
@@ -338,10 +408,13 @@ impl<D: BlockDev> NativeCache<D> {
 impl<D: BlockDev> CacheSystem for NativeCache<D> {
     fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.counters.reads += 1;
-        if let Some(&slot) = self.table.get(&lba) {
+        if let Some(&slot) = self.table.get(lba) {
             self.counters.read_hits += 1;
             let cost = self.ssd.read_into(slot as u64, buf)?;
             self.lru.touch(slot);
+            if self.meta[slot as usize].is_some_and(|m| m.dirty) {
+                self.dirty_lru.touch(slot);
+            }
             return Ok(cost);
         }
         self.counters.read_misses += 1;
@@ -381,9 +454,9 @@ impl<D: BlockDev> CacheSystem for NativeCache<D> {
         MapMemory {
             entries: self.table.len(),
             modeled_bytes: self.meta.len() as u64 * NATIVE_ENTRY_BYTES,
-            heap_bytes: (self.meta.capacity() * std::mem::size_of::<Option<SlotMeta>>()
-                + self.table.capacity() * 2 * std::mem::size_of::<(u64, u32)>())
-                as u64,
+            heap_bytes: self.meta.capacity() as u64
+                * std::mem::size_of::<Option<SlotMeta>>() as u64
+                + self.table.memory().heap_bytes,
         }
     }
 
@@ -571,6 +644,82 @@ mod recovery_tests {
             let expect = if lba < slots { block(1) } else { block(2) };
             assert_eq!(data, expect, "lba {lba} corrupted after recovery");
         }
+    }
+
+    /// Oracle: the incrementally maintained metadata-page cache must be
+    /// bit-identical to a fresh full encode of the live `meta` table.
+    fn assert_md_cache_fresh(s: &NativeCache<HybridFtl>) {
+        let md_pages = (s.slots() as u64).div_ceil(s.md_entries_per_page);
+        assert_eq!(s.md_cache.len(), md_pages as usize);
+        let mut buf = PageBuf::new();
+        for page_index in 0..md_pages {
+            s.encode_md_page(page_index, &mut buf);
+            assert_eq!(
+                buf.as_slice(),
+                &s.md_cache[page_index as usize][..],
+                "cached md page {page_index} diverged from the encoder"
+            );
+        }
+    }
+
+    #[test]
+    fn md_cache_matches_full_encoder_after_churn() {
+        let mut s = durable_wb();
+        let span = 3 * s.slots() as u64;
+        let mut rng = 0x11D_CAFEu64;
+        for i in 0..600u64 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let lba = (rng >> 33) % span;
+            if i % 5 == 0 {
+                s.read(lba).unwrap();
+            } else {
+                s.write(lba, &block(i as u8)).unwrap();
+            }
+            assert_md_cache_fresh(&s);
+        }
+        assert!(s.counters().evictions > 0, "churn should evict");
+        s.crash_and_recover().unwrap();
+        assert_md_cache_fresh(&s);
+    }
+
+    /// Oracle: the dirty-LRU index must equal a tail-to-head scan of the
+    /// main replacement list filtered to dirty slots — same membership,
+    /// same order — so the cleaner's O(1) victim pick is exactly what the
+    /// scan it replaced would have chosen.
+    fn assert_dirty_index_matches_scan(s: &NativeCache<HybridFtl>) {
+        let scanned: Vec<u32> = s
+            .lru
+            .iter_lru()
+            .filter(|&slot| s.meta[slot as usize].is_some_and(|m| m.dirty))
+            .collect();
+        let indexed: Vec<u32> = s.dirty_lru.iter_lru().collect();
+        assert_eq!(indexed, scanned, "dirty index diverged from LRU scan");
+        assert_eq!(indexed.len(), s.dirty_count, "dirty count out of sync");
+    }
+
+    #[test]
+    fn dirty_lru_index_matches_scan_under_churn() {
+        let mut s = durable_wb();
+        let span = 3 * s.slots() as u64;
+        let mut rng = 0xD187_D187_u64;
+        for i in 0..900u64 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let lba = (rng >> 33) % span;
+            if i % 4 == 0 {
+                s.read(lba).unwrap();
+            } else {
+                s.write(lba, &block(i as u8)).unwrap();
+            }
+            assert_dirty_index_matches_scan(&s);
+        }
+        assert!(s.counters().writebacks > 0, "churn should run the cleaner");
+        assert!(s.counters().evictions > 0, "churn should evict");
+        s.crash_and_recover().unwrap();
+        assert_dirty_index_matches_scan(&s);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use sparsemap::{memory, MapMemory};
 use crate::checkpoint::CheckpointStore;
 use crate::config::{ConsistencyMode, EvictionPolicy, SscConfig};
 use crate::error::SscError;
+use crate::evict_index::CleanBlockIndex;
 use crate::map::{BlockEntry, PagePtr, SscMaps};
 use crate::wal::{LogRecord, Wal};
 use crate::Result;
@@ -106,6 +107,10 @@ pub struct Ssc {
     sources_scratch: Vec<Option<(Ppn, bool, bool)>>,
     ppn_scratch: Vec<Ppn>,
     zero_page: Box<[u8]>,
+    /// Ordered mirror of the clean block-level entries, kept in lockstep
+    /// with `maps.blocks` so victim selection and wear leveling are ordered
+    /// lookups instead of full-map scans. See [`crate::evict_index`].
+    clean_index: CleanBlockIndex,
 }
 
 impl Ssc {
@@ -113,6 +118,7 @@ impl Ssc {
     pub fn new(config: SscConfig) -> Self {
         let dev = FlashDevice::new(config.flash, config.data_mode);
         let pool = FreeBlockPool::full(dev.geometry());
+        let planes = dev.geometry().planes();
         let ppb = config.flash.geometry.pages_per_block();
         let timing = config.flash.timing;
         let page_size = config.flash.geometry.page_size();
@@ -132,6 +138,7 @@ impl Ssc {
             sources_scratch: Vec::new(),
             ppn_scratch: Vec::new(),
             zero_page: vec![0; page_size].into_boxed_slice(),
+            clean_index: CleanBlockIndex::new(planes),
         }
     }
 
@@ -218,6 +225,44 @@ impl Ssc {
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
+    }
+
+    /// Re-derives `lbn`'s eviction-index key from the maps and device state.
+    /// Call after any mutation that can change the block-level entry for
+    /// `lbn` (insert/remove/mask/clean); a no-op when nothing is indexed and
+    /// nothing should be.
+    fn index_sync_lbn(&mut self, lbn: u64) {
+        match self.maps.blocks.get(lbn).copied() {
+            Some(entry) if entry.is_clean() => {
+                let score = self.victim_score(&entry);
+                let pbn = Pbn(entry.pbn);
+                let erases = self
+                    .dev
+                    .block_state(pbn)
+                    .map(|s| s.erase_count)
+                    .unwrap_or(u64::MAX);
+                let plane = self.dev.geometry().plane_of(pbn);
+                self.clean_index.upsert(lbn, score, erases, plane);
+            }
+            _ => self.clean_index.remove(lbn),
+        }
+    }
+
+    /// Rebuilds the eviction index from scratch — needed when the maps are
+    /// replaced wholesale (crash wipe, roll-forward recovery) rather than
+    /// mutated through the tracked paths.
+    pub(crate) fn rebuild_clean_index(&mut self) {
+        self.clean_index.clear();
+        let clean: Vec<u64> = self
+            .maps
+            .blocks
+            .iter()
+            .filter(|(_, e)| e.is_clean())
+            .map(|(lbn, _)| lbn)
+            .collect();
+        for lbn in clean {
+            self.index_sync_lbn(lbn);
+        }
     }
 
     fn ppb(&self) -> u32 {
@@ -319,6 +364,7 @@ impl Ssc {
                 let ppn = Ppn(entry.pbn * self.ppb() as u64 + offset as u64);
                 self.dev.invalidate_page(ppn)?;
                 self.maps.mask_block_page(lba);
+                self.index_sync_lbn(lbn);
                 self.log_append(LogRecord::MaskBlockPage { lba });
                 if self.maps.blocks.get(lbn).is_none() {
                     // Last live page gone: the physical block is reclaimable
@@ -445,6 +491,8 @@ impl Ssc {
     pub fn clean(&mut self, lba: u64) -> Result<Duration> {
         let mut cost = self.dev.timing().metadata_cost();
         if self.maps.set_clean(lba) {
+            let (lbn, _) = self.maps.split(lba);
+            self.index_sync_lbn(lbn);
             self.log_append(LogRecord::SetClean { lba });
             cost += self.maybe_group_commit();
         }
@@ -614,6 +662,7 @@ impl Ssc {
         let old = self
             .maps
             .insert_block(lbn, BlockEntry::new(victim.raw(), valid, dirty));
+        self.index_sync_lbn(lbn);
         self.log_append(LogRecord::InsertBlock {
             lbn,
             pbn: victim.raw(),
@@ -775,6 +824,7 @@ impl Ssc {
                 let geometry = *self.dev.geometry();
                 self.pool.release(fresh, erases, &geometry);
                 if self.maps.remove_block(lbn).is_some() {
+                    self.index_sync_lbn(lbn);
                     self.log_append(LogRecord::RemoveBlock { lbn });
                     cost += self.commit_sync();
                     if let Some(e) = old {
@@ -833,6 +883,7 @@ impl Ssc {
         self.ppn_scratch = source_ppns;
         self.maps
             .insert_block(lbn, BlockEntry::new(fresh.raw(), valid, dirty));
+        self.index_sync_lbn(lbn);
         self.log_append(LogRecord::InsertBlock {
             lbn,
             pbn: fresh.raw(),
@@ -860,7 +911,7 @@ impl Ssc {
                 return Err(SscError::OutOfSpace);
             }
             let evicted = self.evict_clean_batch()?;
-            if evicted.is_zero() && self.select_eviction_victims().is_empty() {
+            if evicted.is_zero() && self.clean_index.is_empty() {
                 // "If there are not enough candidate blocks to provide free
                 // space, it reverts to regular garbage collection."
                 self.counters.eviction_fallbacks += 1;
@@ -884,6 +935,7 @@ impl Ssc {
         for (lbn, entry) in self.select_eviction_victims() {
             // Log the un-mapping and make it durable before erasing.
             self.maps.remove_block(lbn);
+            self.index_sync_lbn(lbn);
             self.log_append(LogRecord::RemoveBlock { lbn });
             cost += self.commit_sync();
             let pbn = Pbn(entry.pbn);
@@ -905,8 +957,25 @@ impl Ssc {
     /// Picks up to `evict_batch` clean data blocks by the configured
     /// victim selector, preferring the plane with the fewest free blocks
     /// ("selects a flash plane to clean and then selects the top-k victim
-    /// blocks").
+    /// blocks"). Served by the incremental index; must agree with
+    /// [`Ssc::select_eviction_victims_scan`] (oracle-tested).
     fn select_eviction_victims(&self) -> Vec<(u64, BlockEntry)> {
+        let preferred_plane = self.pool.emptiest_plane();
+        self.clean_index
+            .select_victims(preferred_plane, self.config.evict_batch)
+            .into_iter()
+            .map(|lbn| {
+                let entry = *self.maps.blocks.get(lbn).expect("indexed lbn is mapped");
+                (lbn, entry)
+            })
+            .collect()
+    }
+
+    /// Brute-force rebuild-and-sort victim selection — the reference
+    /// implementation the index is checked against. Retained solely for the
+    /// index/scan oracle tests.
+    #[doc(hidden)]
+    pub fn select_eviction_victims_scan(&self) -> Vec<(u64, BlockEntry)> {
         let geometry = self.dev.geometry();
         let preferred_plane = self.pool.emptiest_plane();
         let mut candidates: Vec<(u64, u64, bool, u64, BlockEntry)> = self
@@ -1007,30 +1076,20 @@ impl Ssc {
         if wear.wear_difference() <= max_difference {
             return Ok(Duration::ZERO);
         }
-        // The clean data block with the lowest erase count.
-        let victim = self
-            .maps
-            .blocks
-            .iter()
-            .filter(|(_, e)| e.is_clean())
-            .map(|(lbn, e)| {
-                let erases = self
-                    .dev
-                    .block_state(Pbn(e.pbn))
-                    .map(|s| s.erase_count)
-                    .unwrap_or(u64::MAX);
-                (erases, lbn, *e)
-            })
-            .min_by_key(|&(erases, lbn, _)| (erases, lbn));
-        let Some((erases, lbn, entry)) = victim else {
+        // The clean data block with the lowest erase count, from the
+        // incremental index (a mapped block's erase count cannot change
+        // while mapped, so the indexed count is current).
+        let Some((erases, lbn)) = self.clean_index.least_worn() else {
             return Ok(Duration::ZERO);
         };
+        let entry = *self.maps.blocks.get(lbn).expect("indexed lbn is mapped");
         if erases >= wear.min_erases + max_difference / 2 {
             // The cold block is not what is holding the minimum down.
             return Ok(Duration::ZERO);
         }
         let mut cost = Duration::ZERO;
         self.maps.remove_block(lbn);
+        self.index_sync_lbn(lbn);
         self.log_append(LogRecord::RemoveBlock { lbn });
         cost += self.commit_sync();
         for offset in 0..self.ppb() {
@@ -1043,6 +1102,25 @@ impl Ssc {
         cost += self.retire_block(Pbn(entry.pbn))?;
         self.counters.silent_evictions += 1;
         Ok(cost)
+    }
+
+    /// Brute-force reference for the wear-level victim, scanning every
+    /// block-level entry. Retained solely for the index/scan oracle tests.
+    #[doc(hidden)]
+    pub fn wear_victim_scan(&self) -> Option<(u64, u64)> {
+        self.maps
+            .blocks
+            .iter()
+            .filter(|(_, e)| e.is_clean())
+            .map(|(lbn, e)| {
+                let erases = self
+                    .dev
+                    .block_state(Pbn(e.pbn))
+                    .map(|s| s.erase_count)
+                    .unwrap_or(u64::MAX);
+                (erases, lbn)
+            })
+            .min()
     }
 
     /// Number of live log blocks.
@@ -1602,6 +1680,188 @@ mod wear_level_tests {
             s.wear_level(2).unwrap();
         }
         assert_eq!(s.read(1_000).unwrap().0, page);
+    }
+}
+
+#[cfg(test)]
+mod index_oracle_tests {
+    use super::*;
+    use crate::config::VictimSelection;
+
+    /// Asserts every index agrees with its brute-force scan reference:
+    /// eviction selection, wear victim, free-pool plane choice, and the full
+    /// index contents (membership, scores, erase counts, planes).
+    fn assert_index_agrees(s: &Ssc) {
+        assert_eq!(
+            s.select_eviction_victims(),
+            s.select_eviction_victims_scan(),
+            "eviction victims diverged from scan"
+        );
+        assert_eq!(
+            s.clean_index.least_worn(),
+            s.wear_victim_scan(),
+            "wear victim diverged from scan"
+        );
+        assert_eq!(s.pool.fullest_plane(), s.pool.fullest_plane_scan());
+        assert_eq!(s.pool.emptiest_plane(), s.pool.emptiest_plane_scan());
+        let mut expect: Vec<(u64, (u64, u64), u64, u32)> = s
+            .maps
+            .blocks
+            .iter()
+            .filter(|(_, e)| e.is_clean())
+            .map(|(lbn, e)| {
+                let pbn = Pbn(e.pbn);
+                let erases = s.dev.block_state(pbn).unwrap().erase_count;
+                (
+                    lbn,
+                    s.victim_score(e),
+                    erases,
+                    s.dev.geometry().plane_of(pbn),
+                )
+            })
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(s.clean_index.snapshot(), expect, "index contents diverged");
+    }
+
+    fn step(rng: &mut u64) -> u64 {
+        *rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *rng >> 33
+    }
+
+    /// Drives an arbitrary operation trace (all six interface ops plus
+    /// background GC, wear leveling and crash/recovery) and checks the
+    /// index/scan agreement after every single operation.
+    fn run_trace(policy: VictimSelection, seed: u64, ops: u64) {
+        let mut config = SscConfig::small_test();
+        config.victim_selection = policy;
+        let mut s = Ssc::new(config);
+        let span = s.data_capacity_pages() * 2;
+        let psize = s.page_size();
+        let mut rng = seed;
+        for i in 0..ops {
+            let op = step(&mut rng) % 100;
+            let lba = step(&mut rng) % span;
+            let fill = vec![(i % 251) as u8; psize];
+            match op {
+                0..=44 => {
+                    let _ = s.write_clean(lba, &fill);
+                }
+                45..=69 => {
+                    let _ = s.write_dirty(lba, &fill);
+                }
+                70..=79 => {
+                    s.clean(lba).unwrap();
+                }
+                80..=86 => {
+                    s.evict(lba).unwrap();
+                }
+                87..=92 => {
+                    let _ = s.read(lba);
+                }
+                93..=95 => {
+                    // A mostly-dirty small cache can legitimately run out of
+                    // space mid-collection; only flash faults are bugs here.
+                    match s.background_collect((step(&mut rng) % 8) as usize + 1) {
+                        Ok(_) | Err(SscError::OutOfSpace) => {}
+                        Err(e) => panic!("background_collect failed: {e}"),
+                    }
+                }
+                96..=97 => {
+                    s.wear_level(step(&mut rng) % 4 + 1).unwrap();
+                }
+                _ => {
+                    s.crash();
+                    s.recover().unwrap();
+                }
+            }
+            assert_index_agrees(&s);
+        }
+        assert!(
+            s.counters().silent_evictions > 0,
+            "trace too tame to exercise eviction"
+        );
+    }
+
+    #[test]
+    fn index_matches_scan_under_utilization_policy() {
+        run_trace(VictimSelection::Utilization, 0xBEEF_0001, 700);
+    }
+
+    #[test]
+    fn index_matches_scan_under_lrw_policy() {
+        run_trace(VictimSelection::LeastRecentlyWritten, 0xBEEF_0002, 700);
+    }
+
+    #[test]
+    fn index_matches_scan_under_utilization_then_recency_policy() {
+        run_trace(VictimSelection::UtilizationThenRecency, 0xBEEF_0003, 700);
+    }
+
+    #[test]
+    fn background_collect_reaches_headroom_with_index() {
+        let mut s = Ssc::new(SscConfig::small_test());
+        let capacity = s.data_capacity_pages();
+        for lba in 0..capacity {
+            s.write_clean(lba, &vec![3u8; s.page_size()]).unwrap();
+        }
+        let target = s.free_blocks() + 4;
+        s.background_collect(target).unwrap();
+        assert!(s.free_blocks() >= target, "headroom target not reached");
+        assert_index_agrees(&s);
+    }
+
+    #[test]
+    fn dirty_blocks_survive_index_driven_eviction_pressure() {
+        let mut s = Ssc::new(SscConfig::small_test());
+        let dirty_page = vec![0xDDu8; s.page_size()];
+        let ppb = s.ppb() as u64;
+        // Park dirty data across two logical blocks, then flood with clean
+        // traffic so every eviction decision flows through the index.
+        for lba in 0..2 * ppb {
+            s.write_dirty(lba, &dirty_page).unwrap();
+        }
+        let capacity = s.data_capacity_pages();
+        for lba in 1000..1000 + capacity * 3 {
+            s.write_clean(lba, &vec![lba as u8; s.page_size()]).unwrap();
+        }
+        assert!(s.counters().silent_evictions > 0);
+        for lba in 0..2 * ppb {
+            assert_eq!(
+                s.read(lba).unwrap().0,
+                dirty_page,
+                "dirty lba {lba} was silently evicted"
+            );
+        }
+        assert_index_agrees(&s);
+    }
+
+    #[test]
+    fn wear_leveling_converges_erase_counts_with_index() {
+        let mut s = Ssc::new(SscConfig::small_test());
+        let ppb = s.ppb() as u64;
+        // Cold clean data parked in data blocks.
+        for pass in 0..2u8 {
+            for lba in 0..3 * ppb {
+                s.write_clean(lba, &vec![pass; s.page_size()]).unwrap();
+            }
+        }
+        // Hot churn far away, with periodic index-driven wear leveling.
+        let hot = vec![7u8; s.page_size()];
+        for i in 0..1200u64 {
+            s.write_clean(10_000 + (i % 8), &hot).unwrap();
+            if i % 50 == 0 {
+                s.wear_level(2).unwrap();
+                assert_index_agrees(&s);
+            }
+        }
+        // With leveling active the spread stays bounded; without it the
+        // same workload runs away (hot blocks only ever churn).
+        let spread = s.wear().wear_difference();
+        assert!(spread <= 8, "wear spread failed to converge: {spread}");
+        assert_index_agrees(&s);
     }
 }
 

@@ -1,0 +1,141 @@
+//! Incrementally maintained eviction-candidate index.
+//!
+//! Silent eviction and wear leveling both need "the best clean data block
+//! right now". The scan implementation rebuilt and sorted a vector of every
+//! block-level entry per query; this index mirrors the clean subset of
+//! `SscMaps::blocks` in ordered structures that are updated on the state
+//! transitions that can change it (insert/remove/mask/clean of a block
+//! entry, and wholesale map replacement on crash/recovery), so each query is
+//! an ordered lookup.
+//!
+//! Two orderings are kept:
+//!
+//! * **victim order** — per-plane sets of `(score.0, score.1, lbn)`. The
+//!   scan sorts globally by `(score, off_plane, lbn)` where `off_plane`
+//!   depends on the preferred plane *of that query*; since `off_plane` is
+//!   constant within a plane, a k-way merge across the per-plane sets with
+//!   the query's preferred plane reproduces the scan's exact order.
+//! * **wear order** — one set of `(erase_count, lbn)`. A mapped block's
+//!   erase count cannot change while it is mapped (erases happen only after
+//!   a block leaves the maps), so the count captured at index time stays
+//!   correct.
+//!
+//! Invariant (enforced by the oracle tests in `device.rs`): after every
+//! public SSC operation the index selects exactly what the retained scan
+//! implementation selects, for every victim-selection policy.
+
+use std::collections::BTreeSet;
+
+use sparsemap::SparseHashMap;
+
+/// The per-block facts the index stores, remembered so an entry can be
+/// removed from the ordered sets without recomputing its score.
+#[derive(Debug, Clone, Copy)]
+struct StoredKey {
+    score: (u64, u64),
+    erases: u64,
+    plane: u32,
+}
+
+/// Ordered view of the clean block-level entries (see module docs).
+#[derive(Debug)]
+pub(crate) struct CleanBlockIndex {
+    /// Per-plane victim candidates ordered by `(score.0, score.1, lbn)`.
+    by_score: Vec<BTreeSet<(u64, u64, u64)>>,
+    /// All candidates ordered by `(erase_count, lbn)`.
+    by_wear: BTreeSet<(u64, u64)>,
+    /// `lbn` → the key currently stored in the ordered sets.
+    keys: SparseHashMap<StoredKey>,
+}
+
+impl CleanBlockIndex {
+    pub(crate) fn new(planes: u32) -> Self {
+        CleanBlockIndex {
+            by_score: vec![BTreeSet::new(); planes as usize],
+            by_wear: BTreeSet::new(),
+            keys: SparseHashMap::new(),
+        }
+    }
+
+    /// Inserts or refreshes one clean block's key.
+    pub(crate) fn upsert(&mut self, lbn: u64, score: (u64, u64), erases: u64, plane: u32) {
+        self.remove(lbn);
+        self.by_score[plane as usize].insert((score.0, score.1, lbn));
+        self.by_wear.insert((erases, lbn));
+        self.keys.insert(
+            lbn,
+            StoredKey {
+                score,
+                erases,
+                plane,
+            },
+        );
+    }
+
+    /// Drops one block from the index (no-op if absent).
+    pub(crate) fn remove(&mut self, lbn: u64) {
+        if let Some(k) = self.keys.remove(lbn) {
+            let removed = self.by_score[k.plane as usize].remove(&(k.score.0, k.score.1, lbn));
+            debug_assert!(removed, "score set out of sync for lbn {lbn}");
+            let removed = self.by_wear.remove(&(k.erases, lbn));
+            debug_assert!(removed, "wear set out of sync for lbn {lbn}");
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for set in &mut self.by_score {
+            set.clear();
+        }
+        self.by_wear.clear();
+        self.keys.clear();
+    }
+
+    /// `true` when no clean candidate exists.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The candidate with the lowest `(erase_count, lbn)` — the wear-level
+    /// victim.
+    pub(crate) fn least_worn(&self) -> Option<(u64, u64)> {
+        self.by_wear.first().copied()
+    }
+
+    /// Full index contents sorted by lbn: `(lbn, score, erases, plane)`.
+    /// Oracle-test hook for comparing against a brute-force recomputation.
+    #[cfg(test)]
+    pub(crate) fn snapshot(&self) -> Vec<(u64, (u64, u64), u64, u32)> {
+        let mut out: Vec<_> = self
+            .keys
+            .iter()
+            .map(|(lbn, k)| (lbn, k.score, k.erases, k.plane))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The first `batch` candidates in the scan's victim order for a query
+    /// preferring `preferred_plane`: ascending `(score, off_plane, lbn)`
+    /// where `off_plane = plane != preferred_plane`. A k-way merge over the
+    /// per-plane sets — `off_plane` is constant within a plane, so each
+    /// plane's `(score, lbn)` order is already its global-order suffix.
+    pub(crate) fn select_victims(&self, preferred_plane: u32, batch: usize) -> Vec<u64> {
+        let mut heads: Vec<_> = self.by_score.iter().map(|s| s.iter().peekable()).collect();
+        let mut out = Vec::with_capacity(batch);
+        while out.len() < batch {
+            let mut best: Option<((u64, u64, bool, u64), usize)> = None;
+            for (plane, head) in heads.iter_mut().enumerate() {
+                if let Some(&&(a, b, lbn)) = head.peek() {
+                    let key = (a, b, plane as u32 != preferred_plane, lbn);
+                    if best.is_none_or(|(bk, _)| key < bk) {
+                        best = Some((key, plane));
+                    }
+                }
+            }
+            let Some((key, plane)) = best else { break };
+            heads[plane].next();
+            out.push(key.3);
+        }
+        out
+    }
+}

@@ -47,6 +47,7 @@ pub mod codec;
 pub mod config;
 pub mod device;
 pub mod error;
+mod evict_index;
 pub mod map;
 pub mod recovery;
 pub mod wal;

@@ -36,6 +36,7 @@ impl Ssc {
     pub fn crash(&mut self) -> usize {
         let lost = self.wal.crash();
         self.maps = SscMaps::new(self.maps.ppb());
+        self.rebuild_clean_index();
         self.log_blocks.clear();
         self.pending_retire.clear();
         // The free pool is RAM state too; recovery rebuilds it.
@@ -100,6 +101,10 @@ impl Ssc {
         }
         self.maps = maps;
         self.reconcile()?;
+        // The maps were replaced wholesale (and reconcile adjusted device
+        // page validity), so the eviction index must be rebuilt rather than
+        // incrementally patched.
+        self.rebuild_clean_index();
         Ok(cost)
     }
 

@@ -121,15 +121,7 @@ impl Disk {
     }
 
     fn fake_data_into(lba: u64, version: u64, out: &mut [u8]) {
-        let mut seed = lba.rotate_left(32) ^ version;
-        for chunk in out.chunks_mut(8) {
-            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = seed;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^= z >> 31;
-            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
-        }
+        simkit::fill_pseudo(lba.rotate_left(32) ^ version, out);
     }
 
     /// Reads one block into the caller's buffer (resized to one block).

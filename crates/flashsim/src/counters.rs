@@ -71,6 +71,67 @@ impl WearStats {
     }
 }
 
+/// Incrementally maintained wear statistics: a histogram of per-block erase
+/// counts plus running min/max/total, updated on every erase. This replaces
+/// the full-device iteration [`WearStats::from_counts`] would need per query,
+/// making the device-wide wear snapshot O(1) no matter how often policy code
+/// (wear leveling, Table 5 reporting) asks for it.
+///
+/// Invariant (checked by the oracle test in `flashsim::device`): after any
+/// sequence of erases, `stats()` equals `WearStats::from_counts` over the
+/// live per-block counts.
+#[derive(Debug, Clone)]
+pub struct WearTracker {
+    /// `hist[c]` = number of blocks whose erase count is `c`.
+    hist: Vec<u64>,
+    min: u64,
+    max: u64,
+    total: u64,
+}
+
+impl WearTracker {
+    /// Tracker for a device of `total_blocks` blocks, all starting at zero
+    /// erases.
+    pub fn new(total_blocks: u64) -> Self {
+        WearTracker {
+            hist: vec![total_blocks],
+            min: 0,
+            max: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one block moving from erase count `old` to `old + 1`.
+    pub fn record_erase(&mut self, old: u64) {
+        let idx = old as usize;
+        debug_assert!(
+            self.hist.get(idx).is_some_and(|&n| n > 0),
+            "no block tracked at erase count {old}"
+        );
+        self.hist[idx] -= 1;
+        if self.hist.len() <= idx + 1 {
+            self.hist.resize(idx + 2, 0);
+        }
+        self.hist[idx + 1] += 1;
+        // The erased block itself lands at old + 1, so when the last block
+        // at the old minimum departs the new minimum is exactly old + 1.
+        if old == self.min && self.hist[idx] == 0 {
+            self.min = old + 1;
+        }
+        self.max = self.max.max(old + 1);
+        self.total += 1;
+    }
+
+    /// Current statistics, O(1).
+    pub fn stats(&self) -> WearStats {
+        WearStats {
+            min_erases: self.min,
+            max_erases: self.max,
+            total_erases: self.total,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

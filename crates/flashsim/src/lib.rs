@@ -56,7 +56,7 @@ pub mod timing;
 pub use addr::{Pbn, Ppn};
 pub use block::{Block, BlockState};
 pub use config::{FlashConfig, Geometry};
-pub use counters::{FlashCounters, WearStats};
+pub use counters::{FlashCounters, WearStats, WearTracker};
 pub use device::{DataMode, FlashDevice};
 pub use error::FlashError;
 pub use oob::OobData;

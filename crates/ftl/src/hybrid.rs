@@ -18,11 +18,11 @@
 //! random writes see the full garbage-collection cost — the behaviour
 //! FlashTier's silent eviction removes (§4.3, Figure 6).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use flashsim::{DataMode, FlashCounters, FlashDevice, OobData, PageState, Pbn, Ppn, WearStats};
 use simkit::{Duration, PageBuf};
-use sparsemap::{memory, MapMemory};
+use sparsemap::{memory, MapMemory, SparseHashMap};
 
 use crate::config::SsdConfig;
 use crate::error::FtlError;
@@ -49,8 +49,11 @@ pub struct HybridFtl {
     dev: FlashDevice,
     /// Block-level map: LBN -> data block.
     data_map: Vec<Option<Pbn>>,
-    /// Page-level map for log-block contents: LBA -> physical page.
-    log_map: HashMap<u64, Ppn>,
+    /// Page-level map for log-block contents: LBA -> physical page. An
+    /// open-addressed map with cheap integer hashing — the log directory is
+    /// consulted on every host read, write and merge source lookup, so it
+    /// must not pay a keyed-hash (SipHash) per probe.
+    log_map: SparseHashMap<Ppn>,
     /// Log blocks in allocation order; the front is the next merge victim.
     log_blocks: VecDeque<Pbn>,
     pool: FreeBlockPool,
@@ -60,8 +63,9 @@ pub struct HybridFtl {
     /// Scratch buffers reused across merges so steady-state GC is
     /// allocation-free: per-offset sources, the batch PPN list, and one
     /// pre-zeroed page for never-written offsets.
-    sources_scratch: Vec<Option<Ppn>>,
+    sources_scratch: Vec<Option<(Ppn, bool)>>,
     ppn_scratch: Vec<Ppn>,
+    lbn_scratch: Vec<u64>,
     zero_page: Box<[u8]>,
 }
 
@@ -75,7 +79,7 @@ impl HybridFtl {
             config,
             dev,
             data_map: vec![None; exposed_lbns as usize],
-            log_map: HashMap::new(),
+            log_map: SparseHashMap::new(),
             log_blocks: VecDeque::new(),
             pool,
             counters: FtlCounters::default(),
@@ -83,6 +87,7 @@ impl HybridFtl {
             exposed_pages: exposed_lbns * config.flash.geometry.pages_per_block() as u64,
             sources_scratch: Vec::new(),
             ppn_scratch: Vec::new(),
+            lbn_scratch: Vec::new(),
             zero_page: vec![0; config.flash.geometry.page_size()].into_boxed_slice(),
         }
     }
@@ -144,7 +149,7 @@ impl HybridFtl {
 
     /// Invalidate the current physical copy of `lba` wherever it lives.
     fn invalidate_lba(&mut self, lba: u64) -> Result<()> {
-        if let Some(ppn) = self.log_map.remove(&lba) {
+        if let Some(ppn) = self.log_map.remove(lba) {
             self.dev.invalidate_page(ppn)?;
             return Ok(());
         }
@@ -194,16 +199,17 @@ impl HybridFtl {
     /// pages valid, belonging to one LBN, in logical order.
     fn switch_candidate(&self, victim: Pbn) -> Result<Option<u64>> {
         let ppb = self.ppb();
-        let valid = self.dev.valid_pages_of(victim)?;
-        if valid.len() != ppb as usize {
+        if self.dev.block_state(victim)?.valid_pages != ppb {
             return Ok(None);
         }
-        let first_lba = match valid[0].1.lba {
-            Some(lba) if lba % ppb as u64 == 0 => lba,
-            _ => return Ok(None),
-        };
-        for (i, (_, oob)) in valid.iter().enumerate() {
-            if oob.lba != Some(first_lba + i as u64) {
+        let mut first_lba = 0;
+        for (i, (_, oob)) in self.dev.valid_pages_iter(victim)?.enumerate() {
+            if i == 0 {
+                match oob.lba {
+                    Some(lba) if lba % ppb as u64 == 0 => first_lba = lba,
+                    _ => return Ok(None),
+                }
+            } else if oob.lba != Some(first_lba + i as u64) {
                 return Ok(None);
             }
         }
@@ -216,7 +222,7 @@ impl HybridFtl {
         // Drop the page-level mappings; the block-level map takes over.
         let ppb = self.ppb() as u64;
         for lba in lbn * ppb..(lbn + 1) * ppb {
-            self.log_map.remove(&lba);
+            self.log_map.remove(lba);
         }
         if let Some(old) = self.data_map[lbn as usize].take() {
             cost += self.retire_block(old)?;
@@ -230,16 +236,24 @@ impl HybridFtl {
     /// erase the victim.
     fn full_merge(&mut self, victim: Pbn) -> Result<Duration> {
         let mut cost = Duration::ZERO;
-        let lbns: BTreeSet<u64> = self
-            .dev
-            .valid_pages_of(victim)?
-            .into_iter()
-            .filter_map(|(_, oob)| oob.lba)
-            .map(|lba| lba / self.ppb() as u64)
-            .collect();
-        for lbn in lbns {
+        let ppb = self.ppb() as u64;
+        // Distinct LBNs in ascending order, via the reusable scratch vector
+        // (sort + dedup) rather than a freshly allocated set per merge.
+        let mut lbns = std::mem::take(&mut self.lbn_scratch);
+        lbns.clear();
+        lbns.extend(
+            self.dev
+                .valid_pages_iter(victim)?
+                .filter_map(|(_, oob)| oob.lba)
+                .map(|lba| lba / ppb),
+        );
+        lbns.sort_unstable();
+        lbns.dedup();
+        for &lbn in &lbns {
             cost += self.merge_lbn(lbn)?;
         }
+        lbns.clear();
+        self.lbn_scratch = lbns;
         debug_assert_eq!(self.dev.block_state(victim)?.valid_pages, 0);
         cost += self.retire_block(victim)?;
         self.counters.full_merges += 1;
@@ -261,12 +275,16 @@ impl HybridFtl {
         sources.clear();
         for offset in 0..ppb {
             let lba = lbn * ppb + offset;
-            let src = self.log_map.get(&lba).copied().or_else(|| {
-                old.and_then(|pbn| {
+            // Remember whether the source is a log page: only those have a
+            // directory entry to drop after the copy, so data-block sources
+            // skip the guaranteed-miss `log_map` probe below.
+            let src = match self.log_map.get(lba).copied() {
+                Some(ppn) => Some((ppn, true)),
+                None => old.and_then(|pbn| {
                     let ppn = Ppn(geometry.first_page(pbn).raw() + offset);
-                    (self.dev.page_state(ppn) == Ok(PageState::Valid)).then_some(ppn)
-                })
-            });
+                    (self.dev.page_state(ppn) == Ok(PageState::Valid)).then_some((ppn, false))
+                }),
+            };
             sources.push(src);
         }
         let last = match sources.iter().rposition(|s| s.is_some()) {
@@ -287,22 +305,29 @@ impl HybridFtl {
         // never cross to the host.
         let mut source_ppns = std::mem::take(&mut self.ppn_scratch);
         source_ppns.clear();
-        source_ppns.extend(sources.iter().take(last + 1).filter_map(|s| *s));
+        source_ppns.extend(
+            sources
+                .iter()
+                .take(last + 1)
+                .filter_map(|s| s.map(|(ppn, _)| ppn)),
+        );
         cost += self.dev.read_pages_charge(&source_ppns)?;
         for (offset, src) in sources.iter().enumerate().take(last + 1) {
             let lba = lbn * ppb + offset as u64;
             let seq = self.next_seq();
             let oob = OobData::for_lba(lba, false, seq);
             let wcost = match src {
-                Some(ppn) => self.dev.copy_page_from(fresh, *ppn, oob)?.1,
+                Some((ppn, _)) => self.dev.copy_page_from(fresh, *ppn, oob)?.1,
                 None => self.dev.program_next(fresh, &self.zero_page, oob)?.1,
             };
             cost += wcost;
             self.counters.gc_copies += 1;
             // The source copy is now superseded.
-            if let Some(ppn) = src {
+            if let Some((ppn, from_log)) = src {
                 self.dev.invalidate_page(*ppn)?;
-                self.log_map.remove(&lba);
+                if *from_log {
+                    self.log_map.remove(lba);
+                }
             }
         }
         sources.clear();
@@ -326,7 +351,7 @@ impl BlockDev for HybridFtl {
     fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.check_lba(lba)?;
         self.counters.host_reads += 1;
-        if let Some(&ppn) = self.log_map.get(&lba) {
+        if let Some(&ppn) = self.log_map.get(lba) {
             return Ok(self.dev.read_page_into(ppn, buf)?);
         }
         let lbn = (lba / self.ppb() as u64) as usize;
@@ -393,9 +418,8 @@ impl BlockDev for HybridFtl {
         let modeled = memory::dense_modeled_bytes(self.data_map.len(), 8)
             + log_pages * 16
             + self.config.total_blocks() * 8;
-        let heap = (self.data_map.capacity() * std::mem::size_of::<Option<Pbn>>()
-            + self.log_map.capacity() * 2 * std::mem::size_of::<(u64, Ppn)>())
-            as u64;
+        let heap = self.data_map.capacity() as u64 * std::mem::size_of::<Option<Pbn>>() as u64
+            + self.log_map.memory().heap_bytes;
         MapMemory {
             entries: self.data_map.iter().filter(|e| e.is_some()).count() + self.log_map.len(),
             modeled_bytes: modeled,
@@ -407,6 +431,7 @@ impl BlockDev for HybridFtl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn small() -> HybridFtl {
         HybridFtl::new(SsdConfig::small_test(), DataMode::Store)

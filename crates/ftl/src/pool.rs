@@ -22,6 +22,11 @@ use std::collections::BTreeSet;
 pub struct FreeBlockPool {
     /// Per-plane ordered sets of (erase_count, pbn).
     planes: Vec<BTreeSet<(u64, Pbn)>>,
+    /// Plane-occupancy index: one `(free_blocks, plane)` entry per plane,
+    /// kept in lockstep with `planes` so [`FreeBlockPool::fullest_plane`] /
+    /// [`FreeBlockPool::emptiest_plane`] are ordered lookups instead of
+    /// per-call scans over every plane.
+    occupancy: BTreeSet<(usize, u32)>,
     total: usize,
 }
 
@@ -30,8 +35,16 @@ impl FreeBlockPool {
     pub fn new(planes: u32) -> Self {
         FreeBlockPool {
             planes: vec![BTreeSet::new(); planes as usize],
+            occupancy: (0..planes).map(|p| (0, p)).collect(),
             total: 0,
         }
+    }
+
+    /// Moves one plane's occupancy entry after its free count changed.
+    fn reindex(&mut self, plane: u32, old_len: usize, new_len: usize) {
+        let removed = self.occupancy.remove(&(old_len, plane));
+        debug_assert!(removed, "occupancy index out of sync for plane {plane}");
+        self.occupancy.insert((new_len, plane));
     }
 
     /// Creates a pool pre-filled with every block of the geometry (a freshly
@@ -67,10 +80,12 @@ impl FreeBlockPool {
     ///
     /// Panics (debug) if the block is already pooled.
     pub fn release(&mut self, pbn: Pbn, erase_count: u64, geometry: &Geometry) {
-        let plane = geometry.plane_of(pbn) as usize;
-        let inserted = self.planes[plane].insert((erase_count, pbn));
+        let plane = geometry.plane_of(pbn);
+        let old_len = self.planes[plane as usize].len();
+        let inserted = self.planes[plane as usize].insert((erase_count, pbn));
         debug_assert!(inserted, "block {pbn:?} double-released");
         if inserted {
+            self.reindex(plane, old_len, old_len + 1);
             self.total += 1;
         }
     }
@@ -79,13 +94,10 @@ impl FreeBlockPool {
     ///
     /// Returns `None` when the pool is empty.
     pub fn alloc(&mut self) -> Option<Pbn> {
-        let plane = self
-            .planes
-            .iter()
-            .enumerate()
-            .max_by_key(|(i, set)| (set.len(), usize::MAX - i))?
-            .0;
-        self.alloc_in_plane(plane as u32)
+        if self.planes.is_empty() {
+            return None;
+        }
+        self.alloc_in_plane(self.fullest_plane())
     }
 
     /// Allocates the least-worn free block of a specific plane.
@@ -93,12 +105,37 @@ impl FreeBlockPool {
         let set = &mut self.planes[plane as usize];
         let &(erases, pbn) = set.iter().next()?;
         set.remove(&(erases, pbn));
+        let new_len = set.len();
+        self.reindex(plane, new_len + 1, new_len);
         self.total -= 1;
         Some(pbn)
     }
 
-    /// The plane currently holding the most free blocks.
+    /// The plane currently holding the most free blocks (lowest plane number
+    /// on ties).
     pub fn fullest_plane(&self) -> u32 {
+        let Some(&(max_len, _)) = self.occupancy.last() else {
+            return 0;
+        };
+        // Entries sort by (len, plane): the first entry at max_len is the
+        // lowest-numbered plane with that many free blocks.
+        self.occupancy
+            .range((max_len, 0)..)
+            .next()
+            .map(|&(_, plane)| plane)
+            .unwrap_or(0)
+    }
+
+    /// The plane currently holding the fewest free blocks (lowest plane
+    /// number on ties).
+    pub fn emptiest_plane(&self) -> u32 {
+        self.occupancy.first().map(|&(_, plane)| plane).unwrap_or(0)
+    }
+
+    /// Brute-force reference for [`FreeBlockPool::fullest_plane`], scanning
+    /// every plane. Retained for the index/scan oracle tests.
+    #[doc(hidden)]
+    pub fn fullest_plane_scan(&self) -> u32 {
         self.planes
             .iter()
             .enumerate()
@@ -107,8 +144,10 @@ impl FreeBlockPool {
             .unwrap_or(0)
     }
 
-    /// The plane currently holding the fewest free blocks.
-    pub fn emptiest_plane(&self) -> u32 {
+    /// Brute-force reference for [`FreeBlockPool::emptiest_plane`], scanning
+    /// every plane. Retained for the index/scan oracle tests.
+    #[doc(hidden)]
+    pub fn emptiest_plane_scan(&self) -> u32 {
         self.planes
             .iter()
             .enumerate()
@@ -172,6 +211,68 @@ mod tests {
         assert!(pool.is_empty());
         assert_eq!(pool.alloc(), None);
         assert_eq!(pool.alloc_in_plane(1), None);
+    }
+
+    #[test]
+    fn occupancy_index_matches_scan_after_arbitrary_op_sequences() {
+        // Oracle: after every operation of a random release/alloc trace the
+        // incremental plane-occupancy index must agree with the brute-force
+        // scan, and alloc() must pick exactly the block the scan-guided
+        // policy would.
+        let g = Geometry::new(5, 8, 8, 64, 16);
+        let mut pool = FreeBlockPool::new(g.planes());
+        let mut free: Vec<(Pbn, u64)> = Vec::new(); // mirror of pool content
+        let mut held: Vec<(Pbn, u64)> = (0..g.planes())
+            .flat_map(|p| (0..g.blocks_per_plane()).map(move |b| (g.pbn(p, b), 0u64)))
+            .collect();
+        let mut rng = 0xF00D_B10Cu64;
+        let step = |s: &mut u64| {
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *s >> 33
+        };
+        for _ in 0..2000 {
+            let r = step(&mut rng);
+            if r % 3 != 0 && !held.is_empty() {
+                // Release a held block with a bumped erase count.
+                let idx = (step(&mut rng) as usize) % held.len();
+                let (pbn, erases) = held.swap_remove(idx);
+                pool.release(pbn, erases + 1, &g);
+                free.push((pbn, erases + 1));
+            } else if !free.is_empty() {
+                // Allocate: sometimes pinned, usually unpinned.
+                let pick = if step(&mut rng) % 4 == 0 {
+                    let plane = (step(&mut rng) % u64::from(g.planes())) as u32;
+                    pool.alloc_in_plane(plane)
+                } else {
+                    // The scan-guided policy picks the least-worn block of
+                    // the scan's fullest plane; alloc() must match it.
+                    let want_plane = pool.fullest_plane_scan();
+                    let want = free
+                        .iter()
+                        .filter(|&&(b, _)| g.plane_of(b) == want_plane)
+                        .map(|&(b, e)| (e, b))
+                        .min();
+                    let got = pool.alloc();
+                    assert_eq!(got, want.map(|(_, b)| b), "alloc diverged from scan policy");
+                    got
+                };
+                if let Some(pbn) = pick {
+                    let idx = free.iter().position(|&(p, _)| p == pbn).unwrap();
+                    held.push(free.swap_remove(idx));
+                }
+            }
+            assert_eq!(pool.fullest_plane(), pool.fullest_plane_scan());
+            assert_eq!(pool.emptiest_plane(), pool.emptiest_plane_scan());
+            assert_eq!(pool.len(), free.len());
+            for p in 0..g.planes() {
+                assert_eq!(
+                    pool.len_in_plane(p),
+                    free.iter().filter(|&&(b, _)| g.plane_of(b) == p).count()
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod stats;
 pub use clock::{Duration, SimClock, SimTime};
 pub use crc::crc32;
 pub use iobuf::PageBuf;
-pub use rng::SimRng;
+pub use rng::{fill_pseudo, SimRng};
 pub use stats::{Cdf, Histogram, Summary};
