@@ -17,6 +17,10 @@
 //!   changing it changes `sim_time_us`)
 //! * `--systems a,b,...` — comma-separated subset of
 //!   `flashtier_wt,flashtier_wb,native_wb,facade_wt` (default all four)
+//! * `--faults PPM` — enable deterministic media-fault injection at a base
+//!   rate of PPM parts-per-million; each system's JSON gains a `faults`
+//!   object (injected/degradation counters). With the flag absent the
+//!   output is byte-identical to a faults-free build.
 
 use std::time::Instant;
 
@@ -36,6 +40,9 @@ fn main() {
     let mut setup = ReplaySetup::perf(events);
     if let Some(seed) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
         setup = setup.with_seed(seed);
+    }
+    if let Some(ppm) = flag_value(&args, "--faults").and_then(|v| v.parse().ok()) {
+        setup = setup.with_faults(ppm);
     }
     let systems: Vec<ReplaySystem> = match flag_value(&args, "--systems") {
         Some(list) => list
@@ -86,9 +93,26 @@ fn main() {
         }
         json.push_str(&format!(
             "\"{}\":{{\"events\":{},\"mode\":\"discard\",\"wall_s\":{:.4},\
-             \"events_per_sec\":{:.0},\"sim_time_us\":{}}}",
+             \"events_per_sec\":{:.0},\"sim_time_us\":{}",
             r.name, r.events, r.wall_s, r.events_per_sec, r.sim_time_us
         ));
+        if let Some(f) = &r.faults {
+            json.push_str(&format!(
+                ",\"faults\":{{\"injected\":{},\"read_faults\":{},\
+                 \"program_faults\":{},\"erase_faults\":{},\
+                 \"blocks_retired\":{},\"read_fault_fallbacks\":{},\
+                 \"destage_fault_invalidations\":{},\"lost_dirty_reads\":{}}}",
+                f.injected,
+                f.read_faults,
+                f.program_faults,
+                f.erase_faults,
+                f.blocks_retired,
+                f.read_fault_fallbacks,
+                f.destage_fault_invalidations,
+                f.lost_dirty_reads
+            ));
+        }
+        json.push('}');
     }
     json.push_str(&format!(
         "}},\"total_wall_s\":{region_wall:.4},\"aggregate_events_per_sec\":{aggregate:.0}}}"

@@ -16,7 +16,7 @@ use cachemgr::{
     NativeConsistency, NativeMode, PageBuf,
 };
 use disksim::{Disk, DiskConfig, DiskDataMode};
-use flashsim::{DataMode, FlashConfig};
+use flashsim::{DataMode, FaultCounters, FaultPlan, FlashConfig};
 use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
 use ftl::{HybridFtl, SsdConfig};
 use trace::{generate, Trace, WorkloadSpec};
@@ -36,6 +36,9 @@ pub struct ReplaySetup {
     pub flash_bytes: u64,
     /// Workload PRNG seed.
     pub seed: u64,
+    /// Base media-fault rate in parts-per-million (0 = faults off; the
+    /// off path is byte-identical to a build without fault support).
+    pub fault_ppm: u32,
 }
 
 impl ReplaySetup {
@@ -49,6 +52,7 @@ impl ReplaySetup {
             unique_blocks: 1 << 16,
             flash_bytes: 64 << 20,
             seed: 0xBEAC_0001,
+            fault_ppm: 0,
         }
     }
 
@@ -62,6 +66,7 @@ impl ReplaySetup {
             unique_blocks: 1 << 14,
             flash_bytes: 16 << 20,
             seed: 0xBEAC_0002,
+            fault_ppm: 0,
         }
     }
 
@@ -69,6 +74,32 @@ impl ReplaySetup {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Enables deterministic media-fault injection at a base rate of
+    /// `ppm` parts-per-million (perf_replay's `--faults`).
+    pub fn with_faults(mut self, ppm: u32) -> Self {
+        self.fault_ppm = ppm;
+        self
+    }
+
+    /// The seeded fault plan for this setup, or `None` when faults are
+    /// off. Read faults fire at the base rate; the rarer classes scale
+    /// down from it so a single knob exercises every path.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        if self.fault_ppm == 0 {
+            return None;
+        }
+        let ppm = self.fault_ppm;
+        Some(FaultPlan {
+            seed: self.seed ^ 0xFA17_0BAD,
+            read_transient_ppm: ppm,
+            read_permanent_ppm: ppm / 2,
+            read_corrupt_ppm: ppm / 2,
+            oob_corrupt_ppm: ppm / 8,
+            program_fail_ppm: ppm / 2,
+            erase_fail_ppm: ppm / 4,
+        })
     }
 
     /// Generates the deterministic Zipf trace for this setup.
@@ -107,7 +138,11 @@ impl ReplaySetup {
         let config = SscConfig::ssc(self.flash())
             .with_data_mode(DataMode::Discard)
             .with_consistency(ConsistencyMode::CleanAndDirty);
-        FlashTierWt::new(Ssc::new(config), self.disk())
+        let mut system = FlashTierWt::new(Ssc::new(config), self.disk());
+        if let Some(plan) = self.fault_plan() {
+            system.set_fault_plan(plan);
+        }
+        system
     }
 
     /// FlashTier write-back: SSC-R with dirty-only durable maps.
@@ -115,19 +150,27 @@ impl ReplaySetup {
         let config = SscConfig::ssc_r(self.flash())
             .with_data_mode(DataMode::Discard)
             .with_consistency(ConsistencyMode::DirtyOnly);
-        FlashTierWb::new(Ssc::new(config), self.disk())
+        let mut system = FlashTierWb::new(Ssc::new(config), self.disk());
+        if let Some(plan) = self.fault_plan() {
+            system.set_fault_plan(plan);
+        }
+        system
     }
 
     /// Native write-back: FlashCache-style manager over the hybrid FTL,
     /// persisting metadata on every dirty-state change.
     pub fn native_wb(&self) -> NativeCache<HybridFtl> {
         let ssd = HybridFtl::new(SsdConfig::paper_default(self.flash()), DataMode::Discard);
-        NativeCache::new(
+        let mut system = NativeCache::new(
             ssd,
             self.disk(),
             NativeMode::WriteBack,
             NativeConsistency::Durable,
-        )
+        );
+        if let Some(plan) = self.fault_plan() {
+            system.set_fault_plan(plan);
+        }
+        system
     }
 }
 
@@ -169,6 +212,44 @@ impl ReplaySystem {
     }
 }
 
+/// Fault-path outcome of one faulted replay: what the media injected and
+/// how the stack degraded. Only populated when the fault plan is active,
+/// so faults-off reports are byte-identical to the pre-fault format.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultReport {
+    /// Faults the media layer injected or absorbed (all classes).
+    pub injected: u64,
+    /// Unrecoverable read failures + detected corruptions surfaced.
+    pub read_faults: u64,
+    /// Program failures surfaced to the FTL/SSC.
+    pub program_faults: u64,
+    /// Erase failures surfaced to the FTL/SSC.
+    pub erase_faults: u64,
+    /// Blocks the FTL/SSC retired (grown bad or worn out).
+    pub blocks_retired: u64,
+    /// Cache reads converted into disk-served misses.
+    pub read_fault_fallbacks: u64,
+    /// Unreadable dirty blocks dropped by the destage path.
+    pub destage_fault_invalidations: u64,
+    /// Fallbacks that lost a dirty (not-yet-destaged) copy.
+    pub lost_dirty_reads: u64,
+}
+
+impl FaultReport {
+    fn new(injected: FaultCounters, retired: u64, mgr: cachemgr::MgrCounters) -> Self {
+        FaultReport {
+            injected: injected.total(),
+            read_faults: injected.read_failures + injected.read_corruptions,
+            program_faults: injected.program_failures,
+            erase_faults: injected.erase_failures,
+            blocks_retired: retired,
+            read_fault_fallbacks: mgr.read_fault_fallbacks,
+            destage_fault_invalidations: mgr.destage_fault_invalidations,
+            lost_dirty_reads: mgr.lost_dirty_reads,
+        }
+    }
+}
+
 /// One system's replay measurement.
 #[derive(Debug, Clone)]
 pub struct SystemResult {
@@ -184,9 +265,16 @@ pub struct SystemResult {
     /// Total simulated time — seed-deterministic, independent of host
     /// speed or scheduling.
     pub sim_time_us: u64,
+    /// Fault/degradation counters; `None` when faults are off.
+    pub faults: Option<FaultReport>,
 }
 
-fn timed<S: CacheSystem>(kind: ReplaySystem, mut system: S, t: &Trace) -> SystemResult {
+fn timed<S: CacheSystem>(
+    kind: ReplaySystem,
+    mut system: S,
+    t: &Trace,
+    probe: impl Fn(&S) -> Option<FaultReport>,
+) -> SystemResult {
     let start = Instant::now();
     let stats = replay(&mut system, &t.events).expect("replay");
     let wall = start.elapsed().as_secs_f64();
@@ -196,6 +284,7 @@ fn timed<S: CacheSystem>(kind: ReplaySystem, mut system: S, t: &Trace) -> System
         wall_s: wall,
         events_per_sec: stats.ops as f64 / wall,
         sim_time_us: stats.sim_time.as_micros(),
+        faults: probe(&system),
     }
 }
 
@@ -225,21 +314,56 @@ fn timed_facade(setup: &ReplaySetup, t: &Trace) -> SystemResult {
         sim_time_us += cost.as_micros();
     }
     let wall = start.elapsed().as_secs_f64();
+    let faults = setup.fault_plan().map(|_| {
+        let inner = facade.inner();
+        FaultReport::new(
+            inner.ssc().fault_counters(),
+            inner.ssc().counters().blocks_retired,
+            inner.counters(),
+        )
+    });
     SystemResult {
         name: ReplaySystem::FacadeWt.name(),
         events: t.events.len() as u64,
         wall_s: wall,
         events_per_sec: t.events.len() as f64 / wall,
         sim_time_us,
+        faults,
     }
 }
 
 /// Builds and replays one system against a pre-generated trace.
 pub fn run_system(kind: ReplaySystem, setup: &ReplaySetup, t: &Trace) -> SystemResult {
+    let faulted = setup.fault_plan().is_some();
     match kind {
-        ReplaySystem::FlashtierWt => timed(kind, setup.flashtier_wt(), t),
-        ReplaySystem::FlashtierWb => timed(kind, setup.flashtier_wb(), t),
-        ReplaySystem::NativeWb => timed(kind, setup.native_wb(), t),
+        ReplaySystem::FlashtierWt => timed(kind, setup.flashtier_wt(), t, move |s| {
+            faulted.then(|| {
+                FaultReport::new(
+                    s.ssc().fault_counters(),
+                    s.ssc().counters().blocks_retired,
+                    s.counters(),
+                )
+            })
+        }),
+        ReplaySystem::FlashtierWb => timed(kind, setup.flashtier_wb(), t, move |s| {
+            faulted.then(|| {
+                FaultReport::new(
+                    s.ssc().fault_counters(),
+                    s.ssc().counters().blocks_retired,
+                    s.counters(),
+                )
+            })
+        }),
+        ReplaySystem::NativeWb => timed(kind, setup.native_wb(), t, move |s| {
+            faulted.then(|| {
+                use ftl::BlockDev;
+                FaultReport::new(
+                    s.fault_counters(),
+                    s.ssd().ftl_counters().blocks_retired,
+                    s.counters(),
+                )
+            })
+        }),
         ReplaySystem::FacadeWt => timed_facade(setup, t),
     }
 }

@@ -120,6 +120,11 @@ impl FlashTierWb {
         &self.disk
     }
 
+    /// Installs a deterministic media-fault plan on the cache device.
+    pub fn set_fault_plan(&mut self, plan: flashsim::FaultPlan) {
+        self.ssc.set_fault_plan(plan);
+    }
+
     /// Currently tracked dirty blocks.
     pub fn dirty_blocks(&self) -> usize {
         self.dirty.len()
@@ -144,6 +149,7 @@ impl FlashTierWb {
             // it to disk as one positioned transfer.
             self.gather_buf.prepare(run.len() * bs);
             let mut present: u64 = 0;
+            let mut dropped: u64 = 0;
             for (i, &lba) in run.iter().enumerate() {
                 match self.ssc.read_into(lba, &mut self.block_buf) {
                     Ok(rcost) => {
@@ -154,6 +160,26 @@ impl FlashTierWb {
                     // Defensive: the SSC never silently evicts dirty data,
                     // but a stale table entry just gets dropped.
                     Err(SscError::NotPresent(_)) => {}
+                    Err(SscError::Flash(e)) if e.is_media_fault() => {
+                        // Bounded retry, then invalidate: an unreadable dirty
+                        // copy can never be destaged, so holding it only
+                        // wedges the cleaner. Drop the entry; the disk keeps
+                        // the last destaged version.
+                        match self.ssc.read_into(lba, &mut self.block_buf) {
+                            Ok(rcost) => {
+                                cost += rcost;
+                                self.gather_buf[i * bs..(i + 1) * bs]
+                                    .copy_from_slice(&self.block_buf);
+                                present |= 1 << i;
+                            }
+                            Err(_) => {
+                                cost += self.ssc.evict(lba)?;
+                                self.dirty.remove(lba);
+                                self.counters.destage_fault_invalidations += 1;
+                                dropped |= 1 << i;
+                            }
+                        }
+                    }
                     Err(e) => return Err(e.into()),
                 }
             }
@@ -168,7 +194,11 @@ impl FlashTierWb {
                     }
                 }
             }
-            for &lba in &run {
+            for (i, &lba) in run.iter().enumerate() {
+                if dropped & (1 << i) != 0 {
+                    // Already invalidated above; nothing was written back.
+                    continue;
+                }
                 match self.destage {
                     DestagePolicy::Clean => {
                         cost += self.ssc.clean(lba)?;
@@ -215,6 +245,21 @@ impl CacheSystem for FlashTierWb {
                 if self.dirty.contains(lba) {
                     self.dirty.touch(lba);
                 }
+                Ok(cost)
+            }
+            Err(SscError::Flash(e)) if e.is_media_fault() => {
+                // Unrecoverable cache read: drop the faulted copy and serve
+                // the last destaged (disk) version. When the lost copy was
+                // dirty this trades staleness for availability — counted
+                // separately so callers can see it.
+                let mut cost = self.ssc.evict(lba)?;
+                if self.dirty.contains(lba) {
+                    self.dirty.remove(lba);
+                    self.counters.lost_dirty_reads += 1;
+                }
+                self.counters.read_fault_fallbacks += 1;
+                self.counters.read_misses += 1;
+                cost += self.disk.read_into(lba, buf)?;
                 Ok(cost)
             }
             Err(SscError::NotPresent(_)) => {

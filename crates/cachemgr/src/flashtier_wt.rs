@@ -91,6 +91,11 @@ impl FlashTierWt {
         &self.disk
     }
 
+    /// Installs a deterministic media-fault plan on the cache device.
+    pub fn set_fault_plan(&mut self, plan: flashsim::FaultPlan) {
+        self.ssc.set_fault_plan(plan);
+    }
+
     /// Simulates a crash followed by recovery. A write-through manager "may
     /// immediately begin using the SSC; it maintains no transient in-memory
     /// state" — the returned time is the SSC's recovery alone.
@@ -154,6 +159,15 @@ impl CacheSystem for FlashTierWt {
             Err(SscError::NotPresent(_)) => {
                 self.counters.read_misses += 1;
                 self.fetch_and_fill(lba, buf)
+            }
+            Err(SscError::Flash(e)) if e.is_media_fault() => {
+                // Unrecoverable cache read. All write-through data is clean,
+                // so the disk is authoritative: drop the faulted mapping and
+                // serve the read as a miss. Never stale data, never a panic.
+                let evict_cost = self.ssc.evict(lba)?;
+                self.counters.read_fault_fallbacks += 1;
+                self.counters.read_misses += 1;
+                Ok(evict_cost + self.fetch_and_fill(lba, buf)?)
             }
             Err(e) => Err(e.into()),
         }

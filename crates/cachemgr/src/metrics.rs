@@ -21,6 +21,15 @@ pub struct MgrCounters {
     pub metadata_writes: u64,
     /// Device lookups skipped by the Bloom filter (write-through only).
     pub bloom_skips: u64,
+    /// Unrecoverable cache-read media faults converted into disk-served
+    /// misses (the faulted mapping is invalidated; never stale data).
+    pub read_fault_fallbacks: u64,
+    /// Cache entries invalidated after destage/writeback repeatedly failed
+    /// on a media fault (bounded retry, then drop).
+    pub destage_fault_invalidations: u64,
+    /// Reads of *dirty* cache data lost to a media fault, served from the
+    /// last destaged (disk) version instead — availability over staleness.
+    pub lost_dirty_reads: u64,
 }
 
 impl MgrCounters {
@@ -55,6 +64,10 @@ impl MgrCounters {
             evictions: self.evictions - earlier.evictions,
             metadata_writes: self.metadata_writes - earlier.metadata_writes,
             bloom_skips: self.bloom_skips - earlier.bloom_skips,
+            read_fault_fallbacks: self.read_fault_fallbacks - earlier.read_fault_fallbacks,
+            destage_fault_invalidations: self.destage_fault_invalidations
+                - earlier.destage_fault_invalidations,
+            lost_dirty_reads: self.lost_dirty_reads - earlier.lost_dirty_reads,
         }
     }
 }

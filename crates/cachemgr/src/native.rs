@@ -134,6 +134,16 @@ impl<D: BlockDev> NativeCache<D> {
         &self.ssd
     }
 
+    /// Installs a deterministic media-fault plan on the SSD's flash layer.
+    pub fn set_fault_plan(&mut self, plan: flashsim::FaultPlan) {
+        self.ssd.set_fault_plan(plan);
+    }
+
+    /// Media-fault counters of the SSD's flash layer.
+    pub fn fault_counters(&self) -> flashsim::FaultCounters {
+        self.ssd.fault_counters()
+    }
+
     /// The disk tier.
     pub fn disk(&self) -> &Disk {
         &self.disk
@@ -298,6 +308,45 @@ impl<D: BlockDev> NativeCache<D> {
         Ok(cost)
     }
 
+    /// Invalidates `slot` after an unrecoverable media fault: the mapping,
+    /// LRU presence and (persisted) metadata entry are removed and the slot
+    /// returns to the free list, so recovery can never resurrect it onto
+    /// unreadable flash. Returns the persistence cost and whether the
+    /// dropped block was dirty.
+    fn drop_faulted_slot(&mut self, slot: u32) -> Result<(Duration, bool)> {
+        let meta = self.meta[slot as usize].expect("faulted slot in use");
+        self.table.remove(meta.lba);
+        self.meta[slot as usize] = None;
+        self.lru.remove(slot);
+        if meta.dirty {
+            self.dirty_lru.remove(slot);
+            self.dirty_count -= 1;
+        }
+        self.free.push(slot);
+        self.sync_md_entry(slot);
+        let cost = self.persist_metadata(slot)?;
+        Ok((cost, meta.dirty))
+    }
+
+    /// Reads a dirty slot for destage into `victim_buf`, with one bounded
+    /// retry on a media fault. `Ok(Some(cost))` means the buffer holds the
+    /// block; `Ok(None)` means the block is unrecoverable and must be
+    /// dropped rather than destaged.
+    fn read_dirty_for_destage(&mut self, slot: u32) -> Result<Option<Duration>> {
+        for attempt in 0..2 {
+            match self.ssd.read_into(slot as u64, &mut self.victim_buf) {
+                Ok(rcost) => return Ok(Some(rcost)),
+                Err(ftl::FtlError::Flash(e)) if e.is_media_fault() => {
+                    if attempt == 1 {
+                        return Ok(None);
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        unreachable!("loop returns on the second attempt")
+    }
+
     fn set_dirty(&mut self, slot: u32, dirty: bool) -> Result<Duration> {
         let meta = self.meta[slot as usize].as_mut().expect("slot in use");
         if meta.dirty == dirty {
@@ -326,12 +375,20 @@ impl<D: BlockDev> NativeCache<D> {
         let victim = self.lru.pop_back().expect("no free slot and empty LRU");
         let meta = self.meta[victim as usize].expect("victim in use");
         if meta.dirty {
-            // Write the dirty victim back to disk first.
-            *cost += self.ssd.read_into(victim as u64, &mut self.victim_buf)?;
-            *cost += self.disk.write(meta.lba, &self.victim_buf)?;
+            // Write the dirty victim back to disk first. If the flash copy
+            // is unrecoverable even after a retry, drop the block instead of
+            // destaging garbage — the last destaged version on disk stays
+            // the authoritative copy.
+            match self.read_dirty_for_destage(victim)? {
+                Some(rcost) => {
+                    *cost += rcost;
+                    *cost += self.disk.write(meta.lba, &self.victim_buf)?;
+                    self.counters.writebacks += 1;
+                }
+                None => self.counters.destage_fault_invalidations += 1,
+            }
             self.dirty_lru.remove(victim);
             self.dirty_count -= 1;
-            self.counters.writebacks += 1;
         }
         self.table.remove(meta.lba);
         self.meta[victim as usize] = None;
@@ -378,10 +435,22 @@ impl<D: BlockDev> NativeCache<D> {
                 break;
             };
             let lba = self.meta[slot as usize].expect("dirty slot in use").lba;
-            cost += self.ssd.read_into(slot as u64, &mut self.victim_buf)?;
-            cost += self.disk.write(lba, &self.victim_buf)?;
-            self.counters.writebacks += 1;
-            cost += self.set_dirty(slot, false)?;
+            match self.read_dirty_for_destage(slot)? {
+                Some(rcost) => {
+                    cost += rcost;
+                    cost += self.disk.write(lba, &self.victim_buf)?;
+                    self.counters.writebacks += 1;
+                    cost += self.set_dirty(slot, false)?;
+                }
+                None => {
+                    // Unrecoverable dirty block: it can serve neither reads
+                    // nor a destage, so invalidate the whole entry rather
+                    // than leaving unreadable bytes marked clean.
+                    let (pcost, _) = self.drop_faulted_slot(slot)?;
+                    cost += pcost;
+                    self.counters.destage_fault_invalidations += 1;
+                }
+            }
         }
         Ok(cost)
     }
@@ -409,13 +478,33 @@ impl<D: BlockDev> CacheSystem for NativeCache<D> {
     fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.counters.reads += 1;
         if let Some(&slot) = self.table.get(lba) {
-            self.counters.read_hits += 1;
-            let cost = self.ssd.read_into(slot as u64, buf)?;
-            self.lru.touch(slot);
-            if self.meta[slot as usize].is_some_and(|m| m.dirty) {
-                self.dirty_lru.touch(slot);
+            match self.ssd.read_into(slot as u64, buf) {
+                Ok(cost) => {
+                    self.counters.read_hits += 1;
+                    self.lru.touch(slot);
+                    if self.meta[slot as usize].is_some_and(|m| m.dirty) {
+                        self.dirty_lru.touch(slot);
+                    }
+                    return Ok(cost);
+                }
+                Err(ftl::FtlError::Flash(e)) if e.is_media_fault() => {
+                    // Unrecoverable cache read: invalidate the mapping and
+                    // fall through to a disk-served miss — never stale or
+                    // wrong data. A dirty block's newest version is lost to
+                    // the media; the last destaged disk version is served
+                    // instead (availability over staleness).
+                    let (pcost, was_dirty) = self.drop_faulted_slot(slot)?;
+                    if was_dirty {
+                        self.counters.lost_dirty_reads += 1;
+                    }
+                    self.counters.read_fault_fallbacks += 1;
+                    self.counters.read_misses += 1;
+                    let mut cost = pcost + self.disk.read_into(lba, buf)?;
+                    self.install(lba, buf, false, &mut cost)?;
+                    return Ok(cost);
+                }
+                Err(e) => return Err(e.into()),
             }
-            return Ok(cost);
         }
         self.counters.read_misses += 1;
         let mut cost = self.disk.read_into(lba, buf)?;

@@ -81,6 +81,112 @@ fn native_replay_is_deterministic() {
     });
 }
 
+/// A plan aggressive enough that every fault class fires during the
+/// replay, so determinism is checked on the degraded paths too.
+fn fault_plan() -> flashsim::FaultPlan {
+    flashsim::FaultPlan {
+        seed: 0xDE7E_12A1,
+        read_transient_ppm: 3_000,
+        read_permanent_ppm: 1_500,
+        read_corrupt_ppm: 1_500,
+        oob_corrupt_ppm: 500,
+        program_fail_ppm: 2_000,
+        erase_fail_ppm: 1_000,
+    }
+}
+
+/// Same seed + same fault plan must give bit-identical time, manager
+/// counters and fault/retirement counts across two runs.
+fn assert_fault_deterministic<S: CacheSystem>(
+    mut build: impl FnMut() -> S,
+    fault_state: impl Fn(&S) -> (flashsim::FaultCounters, u64),
+) {
+    let t = workload();
+    let run = |mut s: S| {
+        let r = replay(&mut s, &t.events).unwrap();
+        let (faults, retired) = fault_state(&s);
+        assert!(faults.total() > 0, "plan must actually fire");
+        (r.sim_time, r.counters, faults, retired)
+    };
+    assert_eq!(run(build()), run(build()));
+}
+
+#[test]
+fn flashtier_wt_faulted_replay_is_deterministic() {
+    let range = workload().range_blocks;
+    assert_fault_deterministic(
+        || {
+            let config = SscConfig::ssc(flash())
+                .with_data_mode(DataMode::Discard)
+                .with_consistency(ConsistencyMode::CleanAndDirty);
+            let mut s = FlashTierWt::new(Ssc::new(config), disk(range));
+            s.set_fault_plan(fault_plan());
+            s
+        },
+        |s| (s.ssc().fault_counters(), s.ssc().counters().blocks_retired),
+    );
+}
+
+#[test]
+fn flashtier_wb_faulted_replay_is_deterministic() {
+    let range = workload().range_blocks;
+    assert_fault_deterministic(
+        || {
+            let config = SscConfig::ssc_r(flash())
+                .with_data_mode(DataMode::Discard)
+                .with_consistency(ConsistencyMode::DirtyOnly);
+            let mut s = FlashTierWb::new(Ssc::new(config), disk(range));
+            s.set_fault_plan(fault_plan());
+            s
+        },
+        |s| (s.ssc().fault_counters(), s.ssc().counters().blocks_retired),
+    );
+}
+
+#[test]
+fn native_faulted_replay_is_deterministic() {
+    let range = workload().range_blocks;
+    assert_fault_deterministic(
+        || {
+            let ssd = HybridFtl::new(SsdConfig::paper_default(flash()), DataMode::Discard);
+            let mut s = NativeCache::new(
+                ssd,
+                disk(range),
+                NativeMode::WriteBack,
+                NativeConsistency::Durable,
+            );
+            s.set_fault_plan(fault_plan());
+            s
+        },
+        |s| {
+            use ftl::BlockDev;
+            (s.fault_counters(), s.ssd().ftl_counters().blocks_retired)
+        },
+    );
+}
+
+#[test]
+fn native_wt_faulted_replay_is_deterministic() {
+    let range = workload().range_blocks;
+    assert_fault_deterministic(
+        || {
+            let ssd = HybridFtl::new(SsdConfig::paper_default(flash()), DataMode::Discard);
+            let mut s = NativeCache::new(
+                ssd,
+                disk(range),
+                NativeMode::WriteThrough,
+                NativeConsistency::None,
+            );
+            s.set_fault_plan(fault_plan());
+            s
+        },
+        |s| {
+            use ftl::BlockDev;
+            (s.fault_counters(), s.ssd().ftl_counters().blocks_retired)
+        },
+    );
+}
+
 #[test]
 fn crash_recovery_is_deterministic() {
     let t = workload();

@@ -46,6 +46,12 @@ pub struct SscCounters {
     pub gc_copies: u64,
     /// Checkpoints triggered.
     pub checkpoints: u64,
+    /// Blocks permanently retired after a worn-out or failed erase (never
+    /// returned to the free pool; capacity shrinks, the device keeps going).
+    pub blocks_retired: u64,
+    /// Host writes re-issued to a fresh page after an injected program
+    /// failure consumed the original target.
+    pub program_reissues: u64,
 }
 
 impl SscCounters {
@@ -62,6 +68,32 @@ impl SscCounters {
             1.0 - self.read_misses as f64 / self.host_reads as f64
         }
     }
+}
+
+/// A multi-step SSC operation a scripted power failure can interrupt.
+///
+/// The crash-point fuzzer arms one of these sites (plus a hit count) via
+/// [`Ssc::arm_crash`]; when the running operation reaches the armed site the
+/// SSC returns [`SscError::PowerLoss`] mid-operation, leaving device RAM in
+/// whatever half-updated state the operation had built. The harness then
+/// simulates the power failure ([`Ssc::crash`], optionally with a torn WAL
+/// tail) and recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// Inside a log flush, before buffered records become durable.
+    GroupCommit,
+    /// Inside checkpoint policy, before the new snapshot is written.
+    Checkpoint,
+    /// Just after the new checkpoint slot is written: the slot is left
+    /// *corrupted* (torn mid-write) so recovery must fall back to the
+    /// older slot.
+    CheckpointTorn,
+    /// At the start of a log-block recycle (switch/full merge, silent
+    /// eviction fallback).
+    Merge,
+    /// Inside `clean`, before the dirty→clean metadata update — models a
+    /// crash between a manager's destage write and its acknowledgement.
+    Clean,
 }
 
 /// Per-block metadata returned by [`Ssc::exists_meta`].
@@ -100,13 +132,13 @@ pub struct Ssc {
     /// after a flush certifies that the flush completed (the firmware
     /// orders them), so a "torn" power failure can no longer affect it.
     pub(crate) erases_at_last_flush: u64,
+    /// Scripted power failure: fire at the `.1`-th future hit of site `.0`.
+    pub(crate) armed_crash: Option<(CrashSite, u64)>,
     pub(crate) counters: SscCounters,
     /// Scratch buffers reused across merges and compactions so sustained GC
-    /// does not allocate: per-offset sources, the batch PPN list, and one
-    /// pre-zeroed page.
+    /// does not allocate: per-offset sources and the batch PPN list.
     sources_scratch: Vec<Option<(Ppn, bool, bool)>>,
     ppn_scratch: Vec<Ppn>,
-    zero_page: Box<[u8]>,
     /// Ordered mirror of the clean block-level entries, kept in lockstep
     /// with `maps.blocks` so victim selection and wear leveling are ordered
     /// lookups instead of full-map scans. See [`crate::evict_index`].
@@ -134,10 +166,10 @@ impl Ssc {
             writes_since_ckpt: 0,
             pending_retire: Vec::new(),
             erases_at_last_flush: 0,
+            armed_crash: None,
             counters: SscCounters::default(),
             sources_scratch: Vec::new(),
             ppn_scratch: Vec::new(),
-            zero_page: vec![0; page_size].into_boxed_slice(),
             clean_index: CleanBlockIndex::new(planes),
         }
     }
@@ -171,6 +203,73 @@ impl Ssc {
     /// Raw flash counters.
     pub fn flash_counters(&self) -> FlashCounters {
         self.dev.counters()
+    }
+
+    /// Installs a deterministic media-fault plan on the underlying flash.
+    pub fn set_fault_plan(&mut self, plan: flashsim::FaultPlan) {
+        self.dev.set_fault_plan(plan);
+    }
+
+    /// Injected-fault statistics (all zeros when no plan is installed).
+    pub fn fault_counters(&self) -> flashsim::FaultCounters {
+        self.dev.fault_counters()
+    }
+
+    /// Blocks the media has grown bad (failed erases).
+    pub fn grown_bad_blocks(&self) -> u64 {
+        self.dev.grown_bad_blocks() as u64
+    }
+
+    /// Corrupts the newest checkpoint slot in place, as a media scribble
+    /// would. Recovery must detect the bad CRC and fall back to the older
+    /// slot. Test/fuzzing aid.
+    pub fn corrupt_latest_checkpoint(&mut self) {
+        self.ckpt.corrupt_latest();
+    }
+
+    /// Arms a scripted power failure: the `after`-th future hit of `site`
+    /// returns [`SscError::PowerLoss`] from whatever operation is running.
+    /// Only one site can be armed at a time; re-arming replaces the
+    /// schedule. The harness must follow the error with [`Ssc::crash`] and
+    /// [`Ssc::recover`].
+    pub fn arm_crash(&mut self, site: CrashSite, after: u64) {
+        self.armed_crash = Some((site, after));
+    }
+
+    /// Disarms any scripted power failure.
+    pub fn disarm_crash(&mut self) {
+        self.armed_crash = None;
+    }
+
+    /// Whether a scripted power failure is still pending.
+    pub fn crash_armed(&self) -> bool {
+        self.armed_crash.is_some()
+    }
+
+    /// Counts a hit of `site`; returns `true` exactly when the armed
+    /// schedule says this hit is the power failure (and disarms itself).
+    fn crash_fires(&mut self, site: CrashSite) -> bool {
+        match &mut self.armed_crash {
+            Some((armed, after)) if *armed == site => {
+                if *after == 0 {
+                    self.armed_crash = None;
+                    true
+                } else {
+                    *after -= 1;
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Crash point: fail with [`SscError::PowerLoss`] if the schedule fires.
+    fn crash_point(&mut self, site: CrashSite) -> Result<()> {
+        if self.crash_fires(site) {
+            Err(SscError::PowerLoss)
+        } else {
+            Ok(())
+        }
     }
 
     /// Wear statistics across erase blocks.
@@ -291,32 +390,36 @@ impl Ssc {
     }
 
     /// Synchronous commit of every buffered record (atomic append).
-    fn commit_sync(&mut self) -> Duration {
+    fn commit_sync(&mut self) -> Result<Duration> {
         if self.logging_enabled() {
+            if self.wal.buffered() > 0 {
+                // Power fails before the buffered records reach the media.
+                self.crash_point(CrashSite::GroupCommit)?;
+            }
             let cost = self.wal.flush();
             if !cost.is_zero() {
                 self.erases_at_last_flush = self.dev.counters().erases;
             }
-            cost
+            Ok(cost)
         } else {
-            Duration::ZERO
+            Ok(Duration::ZERO)
         }
     }
 
     /// Group commit: flush only once enough records have accumulated.
-    fn maybe_group_commit(&mut self) -> Duration {
+    fn maybe_group_commit(&mut self) -> Result<Duration> {
         if self.logging_enabled() && self.wal.buffered() >= self.config.group_commit_records {
             self.commit_sync()
         } else {
-            Duration::ZERO
+            Ok(Duration::ZERO)
         }
     }
 
     /// Checkpoint policy: log larger than the configured fraction of the
     /// checkpoint, or the write-interval reached.
-    fn maybe_checkpoint(&mut self) -> Duration {
+    fn maybe_checkpoint(&mut self) -> Result<Duration> {
         if !self.logging_enabled() {
-            return Duration::ZERO;
+            return Ok(Duration::ZERO);
         }
         let base_lsn = self.ckpt.latest().map(|c| c.lsn).unwrap_or(0);
         let log_bytes = self.wal.bytes_since(base_lsn);
@@ -324,11 +427,20 @@ impl Ssc {
             .max(self.page_size() as f64) as u64;
         if log_bytes <= threshold && self.writes_since_ckpt < self.config.checkpoint_write_interval
         {
-            return Duration::ZERO;
+            return Ok(Duration::ZERO);
         }
-        let mut cost = self.commit_sync();
+        // Power fails after deciding to checkpoint but before the new
+        // snapshot exists: both old slots stay intact.
+        self.crash_point(CrashSite::Checkpoint)?;
+        let mut cost = self.commit_sync()?;
         let lsn = self.wal.durable_lsn();
         cost += self.ckpt.write(&self.maps, lsn);
+        // Power fails mid-slot-write: the fresh snapshot is torn. Recovery
+        // must detect the bad CRC and fall back to the older slot.
+        if self.crash_fires(CrashSite::CheckpointTorn) {
+            self.ckpt.corrupt_latest();
+            return Err(SscError::PowerLoss);
+        }
         // Keep the log long enough for the *older* checkpoint slot: if the
         // newest snapshot turns out corrupted, recovery falls back to the
         // previous one and must be able to roll forward from its LSN.
@@ -338,12 +450,22 @@ impl Ssc {
         }
         self.writes_since_ckpt = 0;
         self.counters.checkpoints += 1;
-        cost
+        Ok(cost)
     }
 
-    /// Erases `pbn` and returns it to the pool.
+    /// Erases `pbn` and returns it to the pool. A worn-out or erase-failed
+    /// block is retired instead — permanently removed from circulation
+    /// (capacity shrinks, the cache keeps going) rather than surfacing an
+    /// error.
     fn retire_block(&mut self, pbn: Pbn) -> Result<Duration> {
-        let cost = self.dev.erase_block(pbn)?;
+        let cost = match self.dev.erase_block(pbn) {
+            Ok(cost) => cost,
+            Err(flashsim::FlashError::WornOut(_) | flashsim::FlashError::EraseFailed(_)) => {
+                self.counters.blocks_retired += 1;
+                return Ok(Duration::ZERO);
+            }
+            Err(e) => return Err(e.into()),
+        };
         let erases = self.dev.block_state(pbn)?.erase_count;
         let geometry = *self.dev.geometry();
         self.pool.release(pbn, erases, &geometry);
@@ -401,9 +523,9 @@ impl Ssc {
     /// dirty data), or a flash fault.
     pub fn write_dirty(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {
         let mut cost = self.insert(lba, data, true)?;
-        cost += self.commit_sync();
+        cost += self.commit_sync()?;
         cost += self.drain_retires()?;
-        cost += self.bookkeeping();
+        cost += self.bookkeeping()?;
         self.counters.writes_dirty += 1;
         Ok(cost)
     }
@@ -421,12 +543,12 @@ impl Ssc {
         let mut cost = self.insert(lba, data, false)?;
         let must_sync = had_old || self.config.consistency == ConsistencyMode::CleanAndDirty;
         cost += if must_sync {
-            self.commit_sync()
+            self.commit_sync()?
         } else {
-            self.maybe_group_commit()
+            self.maybe_group_commit()?
         };
         cost += self.drain_retires()?;
-        cost += self.bookkeeping();
+        cost += self.bookkeeping()?;
         self.counters.writes_clean += 1;
         Ok(cost)
     }
@@ -471,11 +593,11 @@ impl Ssc {
     pub fn evict(&mut self, lba: u64) -> Result<Duration> {
         let mut cost = self.dev.timing().metadata_cost();
         self.invalidate_lba(lba)?;
-        cost += self.commit_sync();
+        cost += self.commit_sync()?;
         // If the eviction emptied a data block, reclaim it (records are
         // already durable, so the erase cannot expose stale mappings).
         cost += self.drain_retires()?;
-        cost += self.bookkeeping();
+        cost += self.bookkeeping()?;
         self.counters.evict_ops += 1;
         Ok(cost)
     }
@@ -490,11 +612,14 @@ impl Ssc {
     /// the other operations).
     pub fn clean(&mut self, lba: u64) -> Result<Duration> {
         let mut cost = self.dev.timing().metadata_cost();
+        // Power fails between a manager's destage write and this
+        // acknowledgement: the block stays dirty, destage is not recorded.
+        self.crash_point(CrashSite::Clean)?;
         if self.maps.set_clean(lba) {
             let (lbn, _) = self.maps.split(lba);
             self.index_sync_lbn(lbn);
             self.log_append(LogRecord::SetClean { lba });
-            cost += self.maybe_group_commit();
+            cost += self.maybe_group_commit()?;
         }
         self.counters.clean_ops += 1;
         Ok(cost)
@@ -548,9 +673,9 @@ impl Ssc {
 
     /// Per-write bookkeeping: group commit high-water mark and checkpoint
     /// policy.
-    fn bookkeeping(&mut self) -> Duration {
+    fn bookkeeping(&mut self) -> Result<Duration> {
         self.writes_since_ckpt += 1;
-        self.maybe_group_commit() + self.maybe_checkpoint()
+        Ok(self.maybe_group_commit()? + self.maybe_checkpoint()?)
     }
 
     // ------------------------------------------------------------------
@@ -561,13 +686,27 @@ impl Ssc {
     fn insert(&mut self, lba: u64, data: &[u8], dirty: bool) -> Result<Duration> {
         self.check_size(data)?;
         let mut cost = Duration::ZERO;
-        let active = self.log_block_with_space(&mut cost)?;
+        let mut active = self.log_block_with_space(&mut cost)?;
         self.invalidate_lba(lba)?;
-        let seq = self.next_seq();
-        let (ppn, wcost) =
-            self.dev
-                .program_next(active, data, OobData::for_lba(lba, dirty, seq))?;
-        cost += wcost;
+        // An injected program failure consumes the target page; re-issue the
+        // write to the next free page (recycling as needed) until it lands.
+        let ppn = loop {
+            let seq = self.next_seq();
+            match self
+                .dev
+                .program_next(active, data, OobData::for_lba(lba, dirty, seq))
+            {
+                Ok((ppn, wcost)) => {
+                    cost += wcost;
+                    break ppn;
+                }
+                Err(flashsim::FlashError::ProgramFailed(_)) => {
+                    self.counters.program_reissues += 1;
+                    active = self.log_block_with_space(&mut cost)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         self.maps.insert_page(lba, PagePtr::new(ppn, dirty));
         self.log_append(LogRecord::InsertPage {
             lba,
@@ -607,6 +746,8 @@ impl Ssc {
     /// Recycles the oldest log block with a switch merge when possible and a
     /// full merge otherwise.
     fn recycle_log(&mut self) -> Result<Duration> {
+        // Power fails as GC starts relocating the oldest log block.
+        self.crash_point(CrashSite::Merge)?;
         let victim = self
             .log_blocks
             .pop_front()
@@ -670,7 +811,7 @@ impl Ssc {
             dirty,
         });
         // Make the re-mapping durable before destroying the old copies.
-        cost += self.commit_sync();
+        cost += self.commit_sync()?;
         if let Some(old_entry) = old {
             for offset in 0..self.ppb() {
                 let ppn = Ppn(old_entry.pbn * ppb + offset as u64);
@@ -735,7 +876,7 @@ impl Ssc {
             }
         }
         // Durable un-mappings before the erase destroys the old copies.
-        cost += self.commit_sync();
+        cost += self.commit_sync()?;
         debug_assert_eq!(self.dev.block_state(victim)?.valid_pages, 0);
         cost += self.retire_block(victim)?;
         self.counters.full_merges += 1;
@@ -826,7 +967,7 @@ impl Ssc {
                 if self.maps.remove_block(lbn).is_some() {
                     self.index_sync_lbn(lbn);
                     self.log_append(LogRecord::RemoveBlock { lbn });
-                    cost += self.commit_sync();
+                    cost += self.commit_sync()?;
                     if let Some(e) = old {
                         cost += self.retire_block(Pbn(e.pbn))?;
                     }
@@ -870,7 +1011,8 @@ impl Ssc {
                 }
                 None => {
                     // Zero-filled hole: physically present but never mapped.
-                    let (new_ppn, wcost) = self.dev.program_next(fresh, &self.zero_page, oob)?;
+                    // Device-internal fill, exempt from injected host faults.
+                    let (new_ppn, wcost) = self.dev.program_next_fill(fresh, oob)?;
                     cost += wcost;
                     self.counters.gc_copies += 1;
                     self.dev.invalidate_page(new_ppn)?;
@@ -881,6 +1023,10 @@ impl Ssc {
         source_ppns.clear();
         self.sources_scratch = sources;
         self.ppn_scratch = source_ppns;
+        // Power fails mid-merge: pages were copied and their sources
+        // invalidated in device RAM, but the new block mapping is not yet
+        // durable. Recovery must roll back to the durable mappings.
+        self.crash_point(CrashSite::Merge)?;
         self.maps
             .insert_block(lbn, BlockEntry::new(fresh.raw(), valid, dirty));
         self.index_sync_lbn(lbn);
@@ -891,7 +1037,7 @@ impl Ssc {
             dirty,
         });
         // Durable before the old block is erased.
-        cost += self.commit_sync();
+        cost += self.commit_sync()?;
         if let Some(e) = old {
             debug_assert_eq!(self.dev.block_state(Pbn(e.pbn))?.valid_pages, 0);
             cost += self.retire_block(Pbn(e.pbn))?;
@@ -937,7 +1083,7 @@ impl Ssc {
             self.maps.remove_block(lbn);
             self.index_sync_lbn(lbn);
             self.log_append(LogRecord::RemoveBlock { lbn });
-            cost += self.commit_sync();
+            cost += self.commit_sync()?;
             let pbn = Pbn(entry.pbn);
             let mut evicted_pages = 0;
             for offset in 0..self.ppb() {
@@ -1091,7 +1237,7 @@ impl Ssc {
         self.maps.remove_block(lbn);
         self.index_sync_lbn(lbn);
         self.log_append(LogRecord::RemoveBlock { lbn });
-        cost += self.commit_sync();
+        cost += self.commit_sync()?;
         for offset in 0..self.ppb() {
             let ppn = Ppn(entry.pbn * self.ppb() as u64 + offset as u64);
             if self.dev.page_state(ppn)? == PageState::Valid {

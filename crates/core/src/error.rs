@@ -26,6 +26,11 @@ pub enum SscError {
     OutOfSpace,
     /// An underlying flash operation failed.
     Flash(FlashError),
+    /// A scripted power failure fired at an armed crash point (see
+    /// [`crate::device::CrashSite`]). The in-flight operation is torn;
+    /// the caller must treat device RAM as lost and run crash recovery
+    /// before issuing further operations.
+    PowerLoss,
 }
 
 impl fmt::Display for SscError {
@@ -45,6 +50,7 @@ impl fmt::Display for SscError {
                 )
             }
             SscError::Flash(e) => write!(f, "flash error: {e}"),
+            SscError::PowerLoss => write!(f, "power failure at armed crash point"),
         }
     }
 }

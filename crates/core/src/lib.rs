@@ -53,7 +53,7 @@ pub mod recovery;
 pub mod wal;
 
 pub use config::{ConsistencyMode, EvictionPolicy, SscConfig, VictimSelection};
-pub use device::{CachedBlockMeta, Ssc, SscCounters};
+pub use device::{CachedBlockMeta, CrashSite, Ssc, SscCounters};
 pub use error::SscError;
 pub use map::{BlockEntry, PagePtr, SscMaps};
 pub use wal::{LogRecord, MapLevel};

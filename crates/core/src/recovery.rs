@@ -39,6 +39,8 @@ impl Ssc {
         self.rebuild_clean_index();
         self.log_blocks.clear();
         self.pending_retire.clear();
+        // A pending crash schedule dies with the power.
+        self.armed_crash = None;
         // The free pool is RAM state too; recovery rebuilds it.
         self.pool = FreeBlockPool::new(self.dev.geometry().planes());
         lost
@@ -198,10 +200,20 @@ impl Ssc {
                         } else {
                             // Fully stale block: erase lazily in the
                             // background; modelled as an immediate erase
-                            // whose time is not charged to recovery.
-                            self.dev.erase_block(pbn)?;
-                            let erased = self.dev.block_state(pbn)?;
-                            pool.release(pbn, erased.erase_count, &geometry);
+                            // whose time is not charged to recovery. A block
+                            // that refuses the erase (worn out or grown bad)
+                            // stays retired: it never enters the pool.
+                            match self.dev.erase_block(pbn) {
+                                Ok(_) => {
+                                    let erased = self.dev.block_state(pbn)?;
+                                    pool.release(pbn, erased.erase_count, &geometry);
+                                }
+                                Err(
+                                    flashsim::FlashError::WornOut(_)
+                                    | flashsim::FlashError::EraseFailed(_),
+                                ) => {}
+                                Err(e) => return Err(e.into()),
+                            }
                         }
                     }
                 }

@@ -5,6 +5,7 @@ use crate::block::{Block, BlockState};
 use crate::config::{FlashConfig, Geometry};
 use crate::counters::{FlashCounters, WearStats, WearTracker};
 use crate::error::FlashError;
+use crate::fault::{FaultCounters, FaultInjector, FaultPlan, ReadFault};
 use crate::oob::OobData;
 use crate::page::PageState;
 use crate::timing::FlashTiming;
@@ -41,6 +42,9 @@ pub struct FlashDevice {
     /// Per-plane read tally reused by [`FlashDevice::read_pages_into`] so
     /// batch reads stay allocation-free.
     plane_scratch: Vec<u64>,
+    /// Deterministic media-fault injection; `None` (the default) disables
+    /// faults entirely — no hashes drawn, no timing changed.
+    faults: Option<FaultInjector>,
 }
 
 impl FlashDevice {
@@ -55,7 +59,40 @@ impl FlashDevice {
             counters: FlashCounters::default(),
             wear: WearTracker::new(total_blocks as u64),
             plane_scratch: vec![0; config.geometry.planes() as usize],
+            faults: None,
         }
+    }
+
+    /// Installs a deterministic media-fault plan. Faults survive simulated
+    /// power failures (media damage lives in the cells, not controller RAM);
+    /// installing a plan resets any previous fault state.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Whether a fault plan is installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Cumulative injected-fault statistics (all zero when faults are off).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::counters)
+            .unwrap_or_default()
+    }
+
+    /// Whether `pbn` is a grown bad block (its erases fail permanently).
+    pub fn is_grown_bad(&self, pbn: Pbn) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_bad_block(pbn))
+    }
+
+    /// Number of grown bad blocks.
+    pub fn grown_bad_blocks(&self) -> usize {
+        self.faults
+            .as_ref()
+            .map_or(0, FaultInjector::bad_block_count)
     }
 
     /// Device geometry.
@@ -137,20 +174,32 @@ impl FlashDevice {
     /// last erase; [`FlashError::PpnOutOfRange`] for bad addresses. Reading an
     /// `Invalid` page succeeds — the cells still hold the superseded content
     /// until the block is erased, and GC relies on reading pages it is about
-    /// to invalidate.
+    /// to invalidate. With a fault plan installed, injected
+    /// [`FlashError::ReadFailed`]/[`FlashError::ReadCorrupt`] faults charge
+    /// nothing; a transient fault succeeds at double read time (the internal
+    /// retry).
     pub fn read_page_into(&mut self, ppn: Ppn, buf: &mut PageBuf) -> Result<Duration> {
         self.check_ppn(ppn)?;
         let g = self.config.geometry;
         let pbn = g.block_of(ppn);
         let idx = g.page_in_block(ppn) as usize;
-        let page = &self.block(pbn).pages[idx];
-        if page.state == PageState::Free {
+        if self.block(pbn).pages[idx].state == PageState::Free {
             return Err(FlashError::ReadFree(ppn));
         }
+        let mut retries = 0u64;
+        if let Some(inj) = &mut self.faults {
+            match inj.on_read(ppn) {
+                ReadFault::None => {}
+                ReadFault::Transient => retries = 1,
+                ReadFault::Failed => return Err(FlashError::ReadFailed(ppn)),
+                ReadFault::Corrupt => return Err(FlashError::ReadCorrupt(ppn)),
+            }
+        }
+        let page = &self.block(pbn).pages[idx];
         let out = buf.prepare(g.page_size());
         Self::payload_into(self.mode, ppn, page.data.as_deref(), &page.oob, out);
         self.counters.page_reads += 1;
-        Ok(self.config.timing.read_cost())
+        Ok(self.config.timing.read_cost() * (1 + retries))
     }
 
     /// Reads a programmed page, returning its payload and the simulated cost.
@@ -189,6 +238,15 @@ impl FlashDevice {
             let page = &self.block(g.block_of(ppn)).pages[g.page_in_block(ppn) as usize];
             if page.state == PageState::Free {
                 return Err(FlashError::ReadFree(ppn));
+            }
+        }
+        // Batch reads surface already-grown bad pages but draw no fresh
+        // faults (see `crate::fault` for the scope rationale).
+        if let Some(inj) = &mut self.faults {
+            for &ppn in ppns {
+                if inj.batch_read_fails(ppn) {
+                    return Err(FlashError::ReadFailed(ppn));
+                }
             }
         }
         let page_size = g.page_size();
@@ -296,6 +354,11 @@ impl FlashDevice {
     /// Same addressing/state errors as [`FlashDevice::read_page`].
     pub fn read_oob(&mut self, ppn: Ppn) -> Result<(OobData, Duration)> {
         let oob = self.peek_oob(ppn)?;
+        if let Some(inj) = &mut self.faults {
+            if inj.on_oob() {
+                return Err(FlashError::ReadCorrupt(ppn));
+            }
+        }
         self.counters.oob_reads += 1;
         Ok((oob, self.config.timing.oob_read_cost()))
     }
@@ -340,21 +403,34 @@ impl FlashDevice {
         let pbn = g.block_of(ppn);
         let idx = g.page_in_block(ppn);
         let mode = self.mode;
-        let block = self.block_mut(pbn);
-        if block.pages[idx as usize].state != PageState::Free {
-            return Err(FlashError::ProgramNotFree(ppn));
+        {
+            let block = self.block(pbn);
+            if block.pages[idx as usize].state != PageState::Free {
+                return Err(FlashError::ProgramNotFree(ppn));
+            }
+            if idx != block.write_ptr {
+                return Err(FlashError::ProgramOutOfOrder {
+                    ppn,
+                    expected: block.write_ptr,
+                });
+            }
         }
-        if idx != block.write_ptr {
-            return Err(FlashError::ProgramOutOfOrder {
-                ppn,
-                expected: block.write_ptr,
-            });
+        if let Some(inj) = &mut self.faults {
+            if inj.on_program() {
+                // The failed page is consumed: programmed with indeterminate
+                // content and immediately invalid. The caller re-issues the
+                // write to the next free page.
+                let block = self.block_mut(pbn);
+                block.program(idx, None, oob);
+                block.invalidate(idx);
+                return Err(FlashError::ProgramFailed(ppn));
+            }
         }
         let payload = match mode {
             DataMode::Store => Some(data.to_vec().into_boxed_slice()),
             DataMode::Discard => None,
         };
-        block.program(idx, payload, oob);
+        self.block_mut(pbn).program(idx, payload, oob);
         self.counters.page_writes += 1;
         Ok(self.config.timing.write_cost())
     }
@@ -414,6 +490,35 @@ impl FlashDevice {
         Ok((ppn, self.config.timing.write_cost()))
     }
 
+    /// Programs the next free page of `pbn` with zeros — the device-internal
+    /// hole-fill merges use for offsets that were never written. Timing and
+    /// counters match [`FlashDevice::program_next`]; like
+    /// [`FlashDevice::copy_page_from`], this relocation-path primitive draws
+    /// no injected faults.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ProgramNotFree`] if the block is full;
+    /// [`FlashError::PbnOutOfRange`] for bad addresses.
+    pub fn program_next_fill(&mut self, pbn: Pbn, oob: OobData) -> Result<(Ppn, Duration)> {
+        self.check_pbn(pbn)?;
+        let g = self.config.geometry;
+        let wp = self.block(pbn).write_ptr;
+        if wp >= g.pages_per_block() {
+            return Err(FlashError::ProgramNotFree(g.first_page(pbn)));
+        }
+        let ppn = Ppn(g.first_page(pbn).raw() + wp as u64);
+        let payload = match self.mode {
+            DataMode::Store => Some(vec![0u8; g.page_size()].into_boxed_slice()),
+            DataMode::Discard => None,
+        };
+        let block = self.block_mut(pbn);
+        debug_assert_eq!(block.pages[wp as usize].state, PageState::Free);
+        block.program(wp, payload, oob);
+        self.counters.page_writes += 1;
+        Ok((ppn, self.config.timing.write_cost()))
+    }
+
     /// Erases a block, freeing all its pages, and returns the cost.
     ///
     /// # Errors
@@ -427,10 +532,19 @@ impl FlashDevice {
                 return Err(FlashError::WornOut(pbn));
             }
         }
+        if let Some(inj) = &mut self.faults {
+            if inj.on_erase(pbn) {
+                return Err(FlashError::EraseFailed(pbn));
+            }
+        }
         let old = self.block(pbn).erase_count;
         self.block_mut(pbn).erase();
         self.wear.record_erase(old);
         self.counters.erases += 1;
+        if let Some(inj) = &mut self.faults {
+            let g = self.config.geometry;
+            inj.erased(g.first_page(pbn).raw(), g.pages_per_block());
+        }
         Ok(self.config.timing.erase_cost())
     }
 
@@ -966,5 +1080,216 @@ mod relocation_tests {
             d.copy_page_from(full, src, OobData::default()),
             Err(FlashError::ProgramNotFree(_))
         ));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    fn dev_with(plan: FaultPlan) -> FlashDevice {
+        let mut d = FlashDevice::new(FlashConfig::small_test(), DataMode::Store);
+        d.set_fault_plan(plan);
+        d
+    }
+
+    #[test]
+    fn zero_rate_plan_changes_nothing_observable() {
+        let mut plain = FlashDevice::new(FlashConfig::small_test(), DataMode::Store);
+        let mut faulty = dev_with(FaultPlan {
+            seed: 1,
+            ..FaultPlan::default()
+        });
+        let g = *plain.geometry();
+        let data = vec![7u8; g.page_size()];
+        for d in [&mut plain, &mut faulty] {
+            for i in 0..4u64 {
+                d.program_next(g.pbn(0, 0), &data, OobData::for_lba(i, false, 1))
+                    .unwrap();
+            }
+        }
+        for i in 0..4u64 {
+            let ppn = Ppn(g.first_page(g.pbn(0, 0)).raw() + i);
+            assert_eq!(
+                plain.read_page(ppn).unwrap(),
+                faulty.read_page(ppn).unwrap()
+            );
+        }
+        assert_eq!(
+            plain.erase_block(g.pbn(0, 0)),
+            faulty.erase_block(g.pbn(0, 0))
+        );
+        assert_eq!(plain.counters(), faulty.counters());
+        assert_eq!(
+            faulty.fault_counters(),
+            crate::fault::FaultCounters::default()
+        );
+        assert!(faulty.faults_enabled() && !plain.faults_enabled());
+    }
+
+    #[test]
+    fn transient_read_succeeds_at_double_cost() {
+        let mut d = dev_with(FaultPlan {
+            seed: 2,
+            read_transient_ppm: 1_000_000,
+            ..FaultPlan::default()
+        });
+        let g = *d.geometry();
+        let data = vec![3u8; g.page_size()];
+        let (ppn, _) = d
+            .program_next(g.pbn(0, 0), &data, OobData::for_lba(5, false, 1))
+            .unwrap();
+        let (read, cost) = d.read_page(ppn).unwrap();
+        assert_eq!(read, data, "transient faults never lose data");
+        assert_eq!(cost, d.timing().read_cost() * 2);
+        assert_eq!(d.fault_counters().read_transients, 1);
+        assert_eq!(d.counters().page_reads, 1);
+    }
+
+    #[test]
+    fn permanent_read_failure_sticks_until_erase() {
+        let mut d = dev_with(FaultPlan {
+            seed: 3,
+            read_permanent_ppm: 1_000_000,
+            ..FaultPlan::default()
+        });
+        let g = *d.geometry();
+        let data = vec![9u8; g.page_size()];
+        let pbn = g.pbn(0, 0);
+        let (ppn, _) = d
+            .program_next(pbn, &data, OobData::for_lba(5, false, 1))
+            .unwrap();
+        let reads_before = d.counters().page_reads;
+        assert_eq!(d.read_page(ppn).unwrap_err(), FlashError::ReadFailed(ppn));
+        assert_eq!(d.read_page(ppn).unwrap_err(), FlashError::ReadFailed(ppn));
+        assert_eq!(
+            d.counters().page_reads,
+            reads_before,
+            "failures charge nothing"
+        );
+        // Batch reads surface the grown bad page too.
+        assert_eq!(
+            d.read_pages(&[ppn]).unwrap_err(),
+            FlashError::ReadFailed(ppn)
+        );
+        assert!(d.fault_counters().read_failures >= 3);
+        // Erase heals the page (plan still faults the next read, but the
+        // grown-bad entry itself is gone).
+        d.erase_block(pbn).unwrap();
+        d.program_next(pbn, &data, OobData::for_lba(5, false, 2))
+            .unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_returned() {
+        let mut d = dev_with(FaultPlan {
+            seed: 4,
+            read_corrupt_ppm: 1_000_000,
+            ..FaultPlan::default()
+        });
+        let g = *d.geometry();
+        let data = vec![1u8; g.page_size()];
+        let (ppn, _) = d
+            .program_next(g.pbn(1, 0), &data, OobData::for_lba(8, false, 1))
+            .unwrap();
+        assert_eq!(d.read_page(ppn).unwrap_err(), FlashError::ReadCorrupt(ppn));
+        assert_eq!(d.fault_counters().read_corruptions, 1);
+    }
+
+    #[test]
+    fn oob_corruption_faults_metered_reads_only() {
+        let mut d = dev_with(FaultPlan {
+            seed: 5,
+            oob_corrupt_ppm: 1_000_000,
+            ..FaultPlan::default()
+        });
+        let g = *d.geometry();
+        let data = vec![1u8; g.page_size()];
+        let (ppn, _) = d
+            .program_next(g.pbn(0, 1), &data, OobData::for_lba(3, true, 1))
+            .unwrap();
+        assert_eq!(d.read_oob(ppn).unwrap_err(), FlashError::ReadCorrupt(ppn));
+        // peek_oob models controller RAM, immune to media faults.
+        assert_eq!(d.peek_oob(ppn).unwrap().lba, Some(3));
+        assert_eq!(d.fault_counters().oob_corruptions, 1);
+    }
+
+    #[test]
+    fn program_failure_consumes_the_page() {
+        let mut d = dev_with(FaultPlan {
+            seed: 6,
+            program_fail_ppm: 500_000,
+            ..FaultPlan::default()
+        });
+        let g = *d.geometry();
+        let data = vec![2u8; g.page_size()];
+        let pbn = g.pbn(0, 2);
+        let mut failures = 0;
+        let mut programmed = Vec::new();
+        // Keep re-issuing, as an FTL would, until the block fills.
+        loop {
+            match d.program_next(pbn, &data, OobData::for_lba(1, false, 1)) {
+                Ok((ppn, _)) => programmed.push(ppn),
+                Err(FlashError::ProgramFailed(ppn)) => {
+                    failures += 1;
+                    assert_eq!(d.page_state(ppn).unwrap(), PageState::Invalid);
+                }
+                Err(FlashError::ProgramNotFree(_)) => break, // block full
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(failures > 0, "50% rate must fire");
+        assert!(!programmed.is_empty(), "50% rate must also pass");
+        assert_eq!(
+            programmed.len() + failures,
+            g.pages_per_block() as usize,
+            "every page is either programmed or consumed"
+        );
+        assert_eq!(d.fault_counters().program_failures, failures as u64);
+        assert_eq!(d.counters().page_writes, programmed.len() as u64);
+        for ppn in programmed {
+            assert_eq!(d.read_page(ppn).unwrap().0, data);
+        }
+    }
+
+    #[test]
+    fn erase_failure_grows_a_permanent_bad_block() {
+        let mut d = dev_with(FaultPlan {
+            seed: 7,
+            erase_fail_ppm: 1_000_000,
+            ..FaultPlan::default()
+        });
+        let g = *d.geometry();
+        let pbn = g.pbn(1, 1);
+        let erases_before = d.counters().erases;
+        assert_eq!(
+            d.erase_block(pbn).unwrap_err(),
+            FlashError::EraseFailed(pbn)
+        );
+        assert_eq!(
+            d.erase_block(pbn).unwrap_err(),
+            FlashError::EraseFailed(pbn)
+        );
+        assert!(d.is_grown_bad(pbn));
+        assert_eq!(d.grown_bad_blocks(), 1);
+        assert_eq!(
+            d.counters().erases,
+            erases_before,
+            "failed erases uncounted"
+        );
+        assert_eq!(d.block_state(pbn).unwrap().erase_count, 0);
+        assert_eq!(d.fault_counters().grown_bad_blocks, 1);
+    }
+
+    #[test]
+    fn media_fault_classification() {
+        assert!(FlashError::WornOut(Pbn(0)).is_media_fault());
+        assert!(FlashError::ReadFailed(Ppn(0)).is_media_fault());
+        assert!(FlashError::ReadCorrupt(Ppn(0)).is_media_fault());
+        assert!(FlashError::ProgramFailed(Ppn(0)).is_media_fault());
+        assert!(FlashError::EraseFailed(Pbn(0)).is_media_fault());
+        assert!(!FlashError::ReadFree(Ppn(0)).is_media_fault());
+        assert!(!FlashError::PpnOutOfRange(Ppn(0)).is_media_fault());
     }
 }

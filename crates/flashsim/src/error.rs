@@ -36,6 +36,35 @@ pub enum FlashError {
     },
     /// The block has reached its erase endurance limit.
     WornOut(Pbn),
+    /// An injected unrecoverable read failure: the page is a grown bad page
+    /// until its block is erased.
+    ReadFailed(Ppn),
+    /// The device's ECC detected corruption in the page payload or OOB; the
+    /// data is unrecoverable.
+    ReadCorrupt(Ppn),
+    /// An injected program failure: the target page is consumed and the
+    /// write must be re-issued to a fresh page.
+    ProgramFailed(Ppn),
+    /// An injected erase failure: the block is now a grown bad block and
+    /// must be retired.
+    EraseFailed(Pbn),
+}
+
+impl FlashError {
+    /// Whether this error is an injected media fault (as opposed to a
+    /// programming-model violation by the layer above). Media faults call
+    /// for graceful degradation — retire the block, re-issue the write,
+    /// treat the read as a miss — rather than indicating a caller bug.
+    pub fn is_media_fault(&self) -> bool {
+        matches!(
+            self,
+            FlashError::WornOut(_)
+                | FlashError::ReadFailed(_)
+                | FlashError::ReadCorrupt(_)
+                | FlashError::ProgramFailed(_)
+                | FlashError::EraseFailed(_)
+        )
+    }
 }
 
 impl fmt::Display for FlashError {
@@ -61,6 +90,16 @@ impl fmt::Display for FlashError {
                 )
             }
             FlashError::WornOut(pbn) => write!(f, "block {pbn:?} exceeded erase endurance"),
+            FlashError::ReadFailed(ppn) => {
+                write!(f, "unrecoverable read failure on page {ppn:?}")
+            }
+            FlashError::ReadCorrupt(ppn) => {
+                write!(f, "ECC-detected corruption reading page {ppn:?}")
+            }
+            FlashError::ProgramFailed(ppn) => write!(f, "program failure on page {ppn:?}"),
+            FlashError::EraseFailed(pbn) => {
+                write!(f, "erase failure on block {pbn:?} (grown bad block)")
+            }
         }
     }
 }

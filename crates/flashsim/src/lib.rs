@@ -49,6 +49,7 @@ pub mod config;
 pub mod counters;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod oob;
 pub mod page;
 pub mod timing;
@@ -59,6 +60,7 @@ pub use config::{FlashConfig, Geometry};
 pub use counters::{FlashCounters, WearStats, WearTracker};
 pub use device::{DataMode, FlashDevice};
 pub use error::FlashError;
+pub use fault::{FaultCounters, FaultInjector, FaultPlan, ReadFault};
 pub use oob::OobData;
 pub use page::PageState;
 pub use simkit::PageBuf;

@@ -20,7 +20,10 @@
 
 use std::collections::VecDeque;
 
-use flashsim::{DataMode, FlashCounters, FlashDevice, OobData, PageState, Pbn, Ppn, WearStats};
+use flashsim::{
+    DataMode, FaultCounters, FaultPlan, FlashCounters, FlashDevice, FlashError, OobData, PageState,
+    Pbn, Ppn, WearStats,
+};
 use simkit::{Duration, PageBuf};
 use sparsemap::{memory, MapMemory, SparseHashMap};
 
@@ -66,7 +69,6 @@ pub struct HybridFtl {
     sources_scratch: Vec<Option<(Ppn, bool)>>,
     ppn_scratch: Vec<Ppn>,
     lbn_scratch: Vec<u64>,
-    zero_page: Box<[u8]>,
 }
 
 impl HybridFtl {
@@ -88,13 +90,23 @@ impl HybridFtl {
             sources_scratch: Vec::new(),
             ppn_scratch: Vec::new(),
             lbn_scratch: Vec::new(),
-            zero_page: vec![0; config.flash.geometry.page_size()].into_boxed_slice(),
         }
     }
 
     /// The configuration this SSD was built with.
     pub fn config(&self) -> &SsdConfig {
         &self.config
+    }
+
+    /// Installs a deterministic media-fault plan on the underlying flash.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.dev.set_fault_plan(plan);
+    }
+
+    /// Injected-fault statistics of the underlying flash (zero when faults
+    /// are off).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.dev.fault_counters()
     }
 
     /// Number of live log blocks.
@@ -138,9 +150,19 @@ impl HybridFtl {
         self.seq
     }
 
-    /// Erases `pbn` and returns it to the pool.
+    /// Erases `pbn` and returns it to the pool. A worn-out or erase-failed
+    /// block is retired instead — permanently removed from circulation
+    /// (capacity shrinks, the device keeps going) rather than surfacing an
+    /// error.
     fn retire_block(&mut self, pbn: Pbn) -> Result<Duration> {
-        let cost = self.dev.erase_block(pbn)?;
+        let cost = match self.dev.erase_block(pbn) {
+            Ok(cost) => cost,
+            Err(FlashError::WornOut(_) | FlashError::EraseFailed(_)) => {
+                self.counters.blocks_retired += 1;
+                return Ok(Duration::ZERO);
+            }
+            Err(e) => return Err(e.into()),
+        };
         let erases = self.dev.block_state(pbn)?.erase_count;
         let geometry = *self.dev.geometry();
         self.pool.release(pbn, erases, &geometry);
@@ -318,7 +340,7 @@ impl HybridFtl {
             let oob = OobData::for_lba(lba, false, seq);
             let wcost = match src {
                 Some((ppn, _)) => self.dev.copy_page_from(fresh, *ppn, oob)?.1,
-                None => self.dev.program_next(fresh, &self.zero_page, oob)?.1,
+                None => self.dev.program_next_fill(fresh, oob)?.1,
             };
             cost += wcost;
             self.counters.gc_copies += 1;
@@ -370,13 +392,32 @@ impl BlockDev for HybridFtl {
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {
         self.check_lba(lba)?;
         let mut cost = Duration::ZERO;
-        let active = self.log_block_with_space(&mut cost)?;
+        let mut active = self.log_block_with_space(&mut cost)?;
         self.invalidate_lba(lba)?;
-        let seq = self.next_seq();
-        let (ppn, wcost) =
-            self.dev
-                .program_next(active, data, OobData::for_lba(lba, false, seq))?;
-        cost += wcost;
+        // An injected program failure consumes the target page; re-issue the
+        // write to the next free page (allocating/merging as needed) until
+        // it lands.
+        let ppn = loop {
+            let seq = self.next_seq();
+            match self
+                .dev
+                .program_next(active, data, OobData::for_lba(lba, false, seq))
+            {
+                Ok((ppn, wcost)) => {
+                    cost += wcost;
+                    break ppn;
+                }
+                Err(FlashError::ProgramFailed(_)) => {
+                    self.counters.program_reissues += 1;
+                    active = self.log_block_with_space(&mut cost)?;
+                    // That call may have merged this LBA's block, leaving a
+                    // fresh (zero-filled) valid copy; drop it so the invariant
+                    // of one valid physical copy per LBA survives the retry.
+                    self.invalidate_lba(lba)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         self.log_map.insert(lba, ppn);
         self.counters.host_writes += 1;
         Ok(cost)
@@ -425,6 +466,14 @@ impl BlockDev for HybridFtl {
             modeled_bytes: modeled,
             heap_bytes: heap,
         }
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        HybridFtl::set_fault_plan(self, plan);
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        HybridFtl::fault_counters(self)
     }
 }
 

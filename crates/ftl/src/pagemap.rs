@@ -12,7 +12,10 @@
 
 use std::collections::HashMap;
 
-use flashsim::{DataMode, FlashCounters, FlashDevice, OobData, Pbn, Ppn, WearStats};
+use flashsim::{
+    DataMode, FaultCounters, FaultPlan, FlashCounters, FlashDevice, FlashError, OobData, Pbn, Ppn,
+    WearStats,
+};
 use simkit::{Duration, PageBuf};
 use sparsemap::{memory, MapMemory};
 
@@ -46,6 +49,9 @@ pub struct PageFtl {
     /// hot incoming data with cold relocated data).
     gc_active: Option<Pbn>,
     pool: FreeBlockPool,
+    /// Blocks permanently out of circulation (worn out or erase-failed);
+    /// the GC victim scan must skip them.
+    retired: std::collections::BTreeSet<u64>,
     counters: FtlCounters,
     seq: u64,
     exposed_pages: u64,
@@ -63,6 +69,7 @@ impl PageFtl {
             active: None,
             gc_active: None,
             pool,
+            retired: std::collections::BTreeSet::new(),
             counters: FtlCounters::default(),
             seq: 0,
             exposed_pages: config.exposed_pages_pagemap(),
@@ -72,6 +79,16 @@ impl PageFtl {
     /// Free blocks currently pooled.
     pub fn free_blocks(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Installs a deterministic media-fault plan on the underlying flash.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.dev.set_fault_plan(plan);
+    }
+
+    /// Injected-fault statistics of the underlying flash.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.dev.fault_counters()
     }
 
     fn check_lba(&self, lba: u64) -> Result<()> {
@@ -87,8 +104,18 @@ impl PageFtl {
         self.seq
     }
 
+    /// Erases `pbn` and pools it; worn-out or erase-failed blocks are
+    /// retired (dropped from circulation) instead of erroring out.
     fn retire_block(&mut self, pbn: Pbn) -> Result<Duration> {
-        let cost = self.dev.erase_block(pbn)?;
+        let cost = match self.dev.erase_block(pbn) {
+            Ok(cost) => cost,
+            Err(FlashError::WornOut(_) | FlashError::EraseFailed(_)) => {
+                self.retired.insert(pbn.raw());
+                self.counters.blocks_retired += 1;
+                return Ok(Duration::ZERO);
+            }
+            Err(e) => return Err(e.into()),
+        };
         let erases = self.dev.block_state(pbn)?.erase_count;
         let geometry = *self.dev.geometry();
         self.pool.release(pbn, erases, &geometry);
@@ -140,7 +167,10 @@ impl PageFtl {
         for plane in 0..geometry.planes() {
             for block in 0..geometry.blocks_per_plane() {
                 let pbn = geometry.pbn(plane, block);
-                if Some(pbn) == self.active || Some(pbn) == self.gc_active {
+                if Some(pbn) == self.active
+                    || Some(pbn) == self.gc_active
+                    || self.retired.contains(&pbn.raw())
+                {
                     continue;
                 }
                 let state = self.dev.block_state(pbn)?;
@@ -195,15 +225,29 @@ impl BlockDev for PageFtl {
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {
         self.check_lba(lba)?;
         let mut cost = Duration::ZERO;
-        let dest = self.stream_block(false, &mut cost)?;
+        let mut dest = self.stream_block(false, &mut cost)?;
         if let Some(old) = self.map.remove(&lba) {
             self.dev.invalidate_page(old)?;
         }
-        let seq = self.next_seq();
-        let (ppn, wcost) = self
-            .dev
-            .program_next(dest, data, OobData::for_lba(lba, false, seq))?;
-        cost += wcost;
+        // Re-issue after injected program failures; each failure consumes a
+        // page, so the loop always advances.
+        let ppn = loop {
+            let seq = self.next_seq();
+            match self
+                .dev
+                .program_next(dest, data, OobData::for_lba(lba, false, seq))
+            {
+                Ok((ppn, wcost)) => {
+                    cost += wcost;
+                    break ppn;
+                }
+                Err(FlashError::ProgramFailed(_)) => {
+                    self.counters.program_reissues += 1;
+                    dest = self.stream_block(false, &mut cost)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         self.map.insert(lba, ppn);
         self.counters.host_writes += 1;
         Ok(cost)
@@ -238,6 +282,14 @@ impl BlockDev for PageFtl {
                 + self.config.total_blocks() * 8,
             heap_bytes: (self.map.capacity() * 2 * std::mem::size_of::<(u64, Ppn)>()) as u64,
         }
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        PageFtl::set_fault_plan(self, plan);
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        PageFtl::fault_counters(self)
     }
 }
 

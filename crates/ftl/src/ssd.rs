@@ -20,6 +20,12 @@ pub struct FtlCounters {
     pub full_merges: u64,
     /// Data blocks reclaimed by garbage collection.
     pub gc_collections: u64,
+    /// Blocks permanently retired after a failed or endurance-exhausted
+    /// erase (never returned to the free pool).
+    pub blocks_retired: u64,
+    /// Host writes re-issued to a fresh page after an injected program
+    /// failure consumed the original target.
+    pub program_reissues: u64,
 }
 
 impl FtlCounters {
@@ -74,6 +80,17 @@ pub trait BlockDev {
 
     /// Device-memory footprint of the mapping structures.
     fn map_memory(&self) -> MapMemory;
+
+    /// Installs a deterministic media-fault plan on the underlying flash
+    /// (replacing any previous plan and its counters). Devices without
+    /// fault support ignore the call.
+    fn set_fault_plan(&mut self, _plan: flashsim::FaultPlan) {}
+
+    /// Media-fault counters of the underlying flash device (all zero when
+    /// no fault plan is installed).
+    fn fault_counters(&self) -> flashsim::FaultCounters {
+        flashsim::FaultCounters::default()
+    }
 
     /// Write amplification: flash page writes per host page write.
     fn write_amplification(&self) -> f64 {
