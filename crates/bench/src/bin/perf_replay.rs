@@ -21,10 +21,18 @@
 //!   rate of PPM parts-per-million; each system's JSON gains a `faults`
 //!   object (injected/degradation counters). With the flag absent the
 //!   output is byte-identical to a faults-free build.
+//! * `--shards N` — partition the FlashTier systems into N hash-routed SSC
+//!   shards replaying in parallel; the JSON gains a top-level `shards` key
+//!   and per-system `shard_events` arrays. `sim_time_us` becomes the
+//!   max-merged per-shard time (still seed-deterministic at every N); the
+//!   native baseline and the facade ignore the flag. With the flag absent
+//!   the output is byte-identical to a shard-free build.
 
 use std::time::Instant;
 
-use flashtier_bench::replay::{run_system, ReplaySetup, ReplaySystem, SystemResult};
+use flashtier_bench::replay::{
+    run_system, run_system_sharded, ReplaySetup, ReplaySystem, SystemResult,
+};
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.windows(2)
@@ -43,6 +51,11 @@ fn main() {
     }
     if let Some(ppm) = flag_value(&args, "--faults").and_then(|v| v.parse().ok()) {
         setup = setup.with_faults(ppm);
+    }
+    let shards: Option<usize> = flag_value(&args, "--shards").and_then(|v| v.parse().ok());
+    if shards == Some(0) {
+        eprintln!("--shards must be at least 1");
+        std::process::exit(2);
     }
     let systems: Vec<ReplaySystem> = match flag_value(&args, "--systems") {
         Some(list) => list
@@ -68,7 +81,10 @@ fn main() {
             .map(|&kind| {
                 let setup = &setup;
                 let t = &t;
-                scope.spawn(move || run_system(kind, setup, t))
+                scope.spawn(move || match shards {
+                    Some(n) => run_system_sharded(kind, setup, t, n),
+                    None => run_system(kind, setup, t),
+                })
             })
             .collect();
         handles
@@ -96,6 +112,10 @@ fn main() {
              \"events_per_sec\":{:.0},\"sim_time_us\":{}",
             r.name, r.events, r.wall_s, r.events_per_sec, r.sim_time_us
         ));
+        if let Some(se) = &r.shard_events {
+            let list: Vec<String> = se.iter().map(|e| e.to_string()).collect();
+            json.push_str(&format!(",\"shard_events\":[{}]", list.join(",")));
+        }
         if let Some(f) = &r.faults {
             json.push_str(&format!(
                 ",\"faults\":{{\"injected\":{},\"read_faults\":{},\
@@ -114,8 +134,12 @@ fn main() {
         }
         json.push('}');
     }
+    let shards_field = match shards {
+        Some(n) => format!(",\"shards\":{n}"),
+        None => String::new(),
+    };
     json.push_str(&format!(
-        "}},\"total_wall_s\":{region_wall:.4},\"aggregate_events_per_sec\":{aggregate:.0}}}"
+        "}}{shards_field},\"total_wall_s\":{region_wall:.4},\"aggregate_events_per_sec\":{aggregate:.0}}}"
     ));
     println!("{json}");
 }

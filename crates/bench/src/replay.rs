@@ -9,6 +9,7 @@
 //! not simulated device time — but each run also reports total simulated
 //! time, which must be byte-for-byte reproducible for a given seed.
 
+use std::thread;
 use std::time::Instant;
 
 use cachemgr::{
@@ -17,9 +18,9 @@ use cachemgr::{
 };
 use disksim::{Disk, DiskConfig, DiskDataMode};
 use flashsim::{DataMode, FaultCounters, FaultPlan, FlashConfig};
-use flashtier_core::{ConsistencyMode, Ssc, SscConfig};
+use flashtier_core::{shard_config, ConsistencyMode, ShardRouter, Ssc, SscConfig, SscCounters};
 use ftl::{HybridFtl, SsdConfig};
-use trace::{generate, Trace, WorkloadSpec};
+use trace::{generate, Trace, TraceEvent, WorkloadSpec};
 
 /// Workload and device sizing for one replay run.
 #[derive(Debug, Clone)]
@@ -133,12 +134,25 @@ impl ReplaySetup {
         )
     }
 
+    /// SSC configuration for the write-through system (clean+dirty
+    /// durable maps).
+    pub fn wt_config(&self) -> SscConfig {
+        SscConfig::ssc(self.flash())
+            .with_data_mode(DataMode::Discard)
+            .with_consistency(ConsistencyMode::CleanAndDirty)
+    }
+
+    /// SSC-R configuration for the write-back system (dirty-only durable
+    /// maps).
+    pub fn wb_config(&self) -> SscConfig {
+        SscConfig::ssc_r(self.flash())
+            .with_data_mode(DataMode::Discard)
+            .with_consistency(ConsistencyMode::DirtyOnly)
+    }
+
     /// FlashTier write-through: SSC with clean+dirty durable maps.
     pub fn flashtier_wt(&self) -> FlashTierWt {
-        let config = SscConfig::ssc(self.flash())
-            .with_data_mode(DataMode::Discard)
-            .with_consistency(ConsistencyMode::CleanAndDirty);
-        let mut system = FlashTierWt::new(Ssc::new(config), self.disk());
+        let mut system = FlashTierWt::new(Ssc::new(self.wt_config()), self.disk());
         if let Some(plan) = self.fault_plan() {
             system.set_fault_plan(plan);
         }
@@ -147,10 +161,7 @@ impl ReplaySetup {
 
     /// FlashTier write-back: SSC-R with dirty-only durable maps.
     pub fn flashtier_wb(&self) -> FlashTierWb {
-        let config = SscConfig::ssc_r(self.flash())
-            .with_data_mode(DataMode::Discard)
-            .with_consistency(ConsistencyMode::DirtyOnly);
-        let mut system = FlashTierWb::new(Ssc::new(config), self.disk());
+        let mut system = FlashTierWb::new(Ssc::new(self.wb_config()), self.disk());
         if let Some(plan) = self.fault_plan() {
             system.set_fault_plan(plan);
         }
@@ -236,6 +247,21 @@ pub struct FaultReport {
 }
 
 impl FaultReport {
+    /// Field-wise sum of two reports (aggregating per-shard outcomes).
+    pub fn merged(&self, o: &FaultReport) -> FaultReport {
+        FaultReport {
+            injected: self.injected + o.injected,
+            read_faults: self.read_faults + o.read_faults,
+            program_faults: self.program_faults + o.program_faults,
+            erase_faults: self.erase_faults + o.erase_faults,
+            blocks_retired: self.blocks_retired + o.blocks_retired,
+            read_fault_fallbacks: self.read_fault_fallbacks + o.read_fault_fallbacks,
+            destage_fault_invalidations: self.destage_fault_invalidations
+                + o.destage_fault_invalidations,
+            lost_dirty_reads: self.lost_dirty_reads + o.lost_dirty_reads,
+        }
+    }
+
     fn new(injected: FaultCounters, retired: u64, mgr: cachemgr::MgrCounters) -> Self {
         FaultReport {
             injected: injected.total(),
@@ -267,6 +293,9 @@ pub struct SystemResult {
     pub sim_time_us: u64,
     /// Fault/degradation counters; `None` when faults are off.
     pub faults: Option<FaultReport>,
+    /// Events routed to each shard, in shard order; `None` for an
+    /// unsharded run (keeps the default report format unchanged).
+    pub shard_events: Option<Vec<u64>>,
 }
 
 fn timed<S: CacheSystem>(
@@ -285,6 +314,7 @@ fn timed<S: CacheSystem>(
         events_per_sec: stats.ops as f64 / wall,
         sim_time_us: stats.sim_time.as_micros(),
         faults: probe(&system),
+        shard_events: None,
     }
 }
 
@@ -329,6 +359,7 @@ fn timed_facade(setup: &ReplaySetup, t: &Trace) -> SystemResult {
         events_per_sec: t.events.len() as f64 / wall,
         sim_time_us,
         faults,
+        shard_events: None,
     }
 }
 
@@ -366,4 +397,185 @@ pub fn run_system(kind: ReplaySystem, setup: &ReplaySetup, t: &Trace) -> SystemR
         }),
         ReplaySystem::FacadeWt => timed_facade(setup, t),
     }
+}
+/// Splits a trace into per-shard subsequences with [`ShardRouter`],
+/// preserving the original order *within* each shard. Because the router is
+/// a pure function of the LBA, every operation on a given logical block
+/// lands in the same subsequence in its original order — so per-LBA
+/// semantics are unchanged by partitioned replay.
+pub fn partition_events(events: &[TraceEvent], router: ShardRouter) -> Vec<Vec<TraceEvent>> {
+    let n = router.num_shards();
+    let mut parts: Vec<Vec<TraceEvent>> = (0..n)
+        .map(|_| Vec::with_capacity(events.len() / n + 1))
+        .collect();
+    for &e in events {
+        parts[router.shard_of(e.lba)].push(e);
+    }
+    parts
+}
+
+/// One sharded replay's full outcome: the merged [`SystemResult`] plus the
+/// per-shard breakdown the equivalence tests compare against unsharded
+/// runs.
+#[derive(Debug, Clone)]
+pub struct ShardedRunDetail {
+    /// The merged result (what `perf_replay` reports).
+    pub result: SystemResult,
+    /// Per-shard device counters, in shard order.
+    pub shard_counters: Vec<SscCounters>,
+    /// Per-shard simulated time in microseconds, in shard order. The
+    /// merged `sim_time_us` is the max of these — the logical wall time of
+    /// the parallel execution, independent of host scheduling.
+    pub shard_sim_time_us: Vec<u64>,
+}
+
+/// What one shard's replay produced; gathered at the join barrier.
+struct ShardOutcome {
+    ops: u64,
+    sim_time_us: u64,
+    counters: SscCounters,
+    faults: Option<FaultReport>,
+}
+
+/// Replays per-shard subsequences through per-shard stacks on scoped
+/// threads and merges deterministically: counters sum, simulated time
+/// max-merges. Each shard owns a complete stack (an SSC over a `1/n`
+/// geometry split, its own disk tier and manager), so threads share
+/// nothing and the per-shard outcomes are exactly those of `n` independent
+/// sequential replays — the merge is byte-for-byte reproducible regardless
+/// of host scheduling.
+fn timed_sharded<S, B, P>(
+    kind: ReplaySystem,
+    t: &Trace,
+    shards: usize,
+    ppb: u32,
+    faulted: bool,
+    build: B,
+    probe: P,
+) -> ShardedRunDetail
+where
+    S: CacheSystem,
+    B: Fn(usize) -> S + Sync,
+    P: Fn(&S) -> (SscCounters, FaultCounters) + Sync,
+{
+    let router = ShardRouter::new(shards, ppb);
+    let parts = partition_events(&t.events, router);
+    let start = Instant::now();
+    let outcomes: Vec<ShardOutcome> = thread::scope(|scope| {
+        let build = &build;
+        let probe = &probe;
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, events)| {
+                scope.spawn(move || {
+                    let mut system = build(i);
+                    let stats = cachemgr::replay(&mut system, events).expect("sharded replay");
+                    let (counters, injected) = probe(&system);
+                    ShardOutcome {
+                        ops: stats.ops,
+                        sim_time_us: stats.sim_time.as_micros(),
+                        counters,
+                        faults: faulted.then(|| {
+                            FaultReport::new(injected, counters.blocks_retired, stats.counters)
+                        }),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard replay thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let events: u64 = outcomes.iter().map(|o| o.ops).sum();
+    let shard_sim_time_us: Vec<u64> = outcomes.iter().map(|o| o.sim_time_us).collect();
+    let faults = outcomes
+        .iter()
+        .filter_map(|o| o.faults)
+        .reduce(|a, b| a.merged(&b));
+    ShardedRunDetail {
+        result: SystemResult {
+            name: kind.name(),
+            events,
+            wall_s: wall,
+            events_per_sec: events as f64 / wall,
+            sim_time_us: shard_sim_time_us.iter().copied().max().unwrap_or(0),
+            faults,
+            shard_events: Some(parts.iter().map(|p| p.len() as u64).collect()),
+        },
+        shard_counters: outcomes.iter().map(|o| o.counters).collect(),
+        shard_sim_time_us,
+    }
+}
+
+/// Builds and replays one system partitioned over `shards` shards,
+/// returning the per-shard breakdown. Only the two FlashTier systems
+/// shard (the native baseline and the facade have no partitioned build);
+/// asking for them falls back to the unsharded run with an empty
+/// breakdown.
+pub fn run_sharded_detail(
+    kind: ReplaySystem,
+    setup: &ReplaySetup,
+    t: &Trace,
+    shards: usize,
+) -> ShardedRunDetail {
+    assert!(shards >= 1, "need at least one shard");
+    let config = match kind {
+        ReplaySystem::FlashtierWt => setup.wt_config(),
+        ReplaySystem::FlashtierWb => setup.wb_config(),
+        ReplaySystem::NativeWb | ReplaySystem::FacadeWt => {
+            return ShardedRunDetail {
+                result: run_system(kind, setup, t),
+                shard_counters: Vec::new(),
+                shard_sim_time_us: Vec::new(),
+            };
+        }
+    };
+    let per_shard = shard_config(&config, shards);
+    let ppb = config.flash.geometry.pages_per_block();
+    let plan = setup.fault_plan();
+    let build_ssc = |i: usize| {
+        let mut ssc = Ssc::new(per_shard);
+        if let Some(mut p) = plan {
+            p.seed = flashtier_core::decorrelate_fault_seed(p.seed, i);
+            ssc.set_fault_plan(p);
+        }
+        ssc
+    };
+    match kind {
+        ReplaySystem::FlashtierWt => timed_sharded(
+            kind,
+            t,
+            shards,
+            ppb,
+            plan.is_some(),
+            |i| FlashTierWt::new(build_ssc(i), setup.disk()),
+            |s: &FlashTierWt| (s.ssc().counters(), s.ssc().fault_counters()),
+        ),
+        ReplaySystem::FlashtierWb => timed_sharded(
+            kind,
+            t,
+            shards,
+            ppb,
+            plan.is_some(),
+            |i| FlashTierWb::new(build_ssc(i), setup.disk()),
+            |s: &FlashTierWb| (s.ssc().counters(), s.ssc().fault_counters()),
+        ),
+        ReplaySystem::NativeWb | ReplaySystem::FacadeWt => unreachable!(),
+    }
+}
+
+/// Builds and replays one system partitioned over `shards` shards against
+/// a pre-generated trace (the `perf_replay --shards` path). `shards == 1`
+/// replays the whole trace through a single full-geometry stack and is
+/// bit-identical to [`run_system`].
+pub fn run_system_sharded(
+    kind: ReplaySystem,
+    setup: &ReplaySetup,
+    t: &Trace,
+    shards: usize,
+) -> SystemResult {
+    run_sharded_detail(kind, setup, t, shards).result
 }

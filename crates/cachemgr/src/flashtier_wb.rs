@@ -9,7 +9,7 @@
 //! merged together for writing to disk."
 
 use disksim::Disk;
-use flashtier_core::{Ssc, SscError};
+use flashtier_core::{Ssc, SscDevice, SscError};
 use simkit::{Duration, PageBuf};
 use sparsemap::MapMemory;
 
@@ -44,9 +44,12 @@ pub enum DestagePolicy {
 }
 
 /// Write-back FlashTier system: SSC + disk + dirty-block table.
+///
+/// Generic over the cache device: the default is the monolithic [`Ssc`];
+/// a [`flashtier_core::ShardedSsc`] drops in for the partitioned build.
 #[derive(Debug)]
-pub struct FlashTierWb {
-    ssc: Ssc,
+pub struct FlashTierWb<D: SscDevice = Ssc> {
+    ssc: D,
     disk: Disk,
     dirty: DirtyTable,
     /// Clean when tracked dirty blocks exceed this count.
@@ -61,9 +64,9 @@ pub struct FlashTierWb {
     block_buf: PageBuf,
 }
 
-impl FlashTierWb {
+impl<D: SscDevice> FlashTierWb<D> {
     /// Assembles the system with the paper's default 20% dirty threshold.
-    pub fn new(ssc: Ssc, disk: Disk) -> Self {
+    pub fn new(ssc: D, disk: Disk) -> Self {
         Self::with_dirty_fraction(ssc, disk, 0.20)
     }
 
@@ -73,7 +76,7 @@ impl FlashTierWb {
     /// # Panics
     ///
     /// Panics on a block-size mismatch or a fraction outside `(0, 1]`.
-    pub fn with_dirty_fraction(ssc: Ssc, disk: Disk, fraction: f64) -> Self {
+    pub fn with_dirty_fraction(ssc: D, disk: Disk, fraction: f64) -> Self {
         assert_eq!(
             ssc.page_size(),
             disk.block_size(),
@@ -106,12 +109,12 @@ impl FlashTierWb {
     }
 
     /// The cache device.
-    pub fn ssc(&self) -> &Ssc {
+    pub fn ssc(&self) -> &D {
         &self.ssc
     }
 
     /// Mutable access to the cache device (crash injection in tests).
-    pub fn ssc_mut(&mut self) -> &mut Ssc {
+    pub fn ssc_mut(&mut self) -> &mut D {
         &mut self.ssc
     }
 
@@ -236,7 +239,7 @@ impl FlashTierWb {
     }
 }
 
-impl CacheSystem for FlashTierWb {
+impl<D: SscDevice> CacheSystem for FlashTierWb<D> {
     fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.counters.reads += 1;
         match self.ssc.read_into(lba, buf) {

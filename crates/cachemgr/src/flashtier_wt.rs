@@ -9,7 +9,7 @@
 //! about cached blocks, and consults the cache on every request."
 
 use disksim::Disk;
-use flashtier_core::{Ssc, SscError};
+use flashtier_core::{Ssc, SscDevice, SscError};
 use simkit::{Duration, PageBuf};
 use sparsemap::MapMemory;
 
@@ -22,22 +22,25 @@ use crate::Result;
 /// metadata. An optional Bloom filter (§4.2.1) can short-circuit reads of
 /// never-cached blocks; this is only safe in write-through mode, where all
 /// cached data is clean and the disk is always authoritative.
+///
+/// Generic over the cache device: the default is the monolithic [`Ssc`];
+/// a [`flashtier_core::ShardedSsc`] drops in for the partitioned build.
 #[derive(Debug)]
-pub struct FlashTierWt {
-    ssc: Ssc,
+pub struct FlashTierWt<D: SscDevice = Ssc> {
+    ssc: D,
     disk: Disk,
     bloom: Option<BloomFilter>,
     counters: MgrCounters,
 }
 
-impl FlashTierWt {
+impl<D: SscDevice> FlashTierWt<D> {
     /// Assembles the system. The SSC page size must match the disk block
     /// size.
     ///
     /// # Panics
     ///
     /// Panics on a block-size mismatch.
-    pub fn new(ssc: Ssc, disk: Disk) -> Self {
+    pub fn new(ssc: D, disk: Disk) -> Self {
         assert_eq!(
             ssc.page_size(),
             disk.block_size(),
@@ -77,12 +80,12 @@ impl FlashTierWt {
     }
 
     /// The cache device.
-    pub fn ssc(&self) -> &Ssc {
+    pub fn ssc(&self) -> &D {
         &self.ssc
     }
 
     /// Mutable access to the cache device (crash injection in tests).
-    pub fn ssc_mut(&mut self) -> &mut Ssc {
+    pub fn ssc_mut(&mut self) -> &mut D {
         &mut self.ssc
     }
 
@@ -123,7 +126,7 @@ impl FlashTierWt {
     }
 }
 
-impl FlashTierWt {
+impl<D: SscDevice> FlashTierWt<D> {
     /// Disk fetch + cache fill shared by the miss and Bloom-skip paths; the
     /// fetched block ends up in `buf`.
     fn fetch_and_fill(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
@@ -140,7 +143,7 @@ impl FlashTierWt {
     }
 }
 
-impl CacheSystem for FlashTierWt {
+impl<D: SscDevice> CacheSystem for FlashTierWt<D> {
     fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         self.counters.reads += 1;
         if let Some(filter) = &self.bloom {

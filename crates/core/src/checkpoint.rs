@@ -91,7 +91,9 @@ impl Checkpoint {
         if end != crate::codec::DecodeEnd::Clean {
             return None;
         }
-        let mut maps = SscMaps::new(ppb);
+        // The snapshot header records exactly how many entries follow;
+        // pre-size the maps so restore never rehashes mid-replay.
+        let mut maps = SscMaps::with_capacity(ppb, self.entry_counts.0, self.entry_counts.1);
         for (_, record) in records {
             match record {
                 crate::wal::LogRecord::InsertPage { lba, ppn, dirty } => {

@@ -162,6 +162,18 @@ impl SscConfig {
             .saturating_sub(self.gc_reserve_blocks as u64)
             * self.flash.geometry.pages_per_block() as u64
     }
+
+    /// Capacity hints `(page_entries, block_entries)` for pre-sizing the
+    /// forward maps: the page map fills up to the log-block budget (one
+    /// entry per log page), the block map up to one entry per erase block.
+    /// Sizing the maps for these bounds at construction avoids rehash churn
+    /// during warm-up.
+    pub fn map_capacity_hints(&self) -> (usize, usize) {
+        let ppb = self.flash.geometry.pages_per_block() as u64;
+        let pages = self.log_block_limit() * ppb;
+        let blocks = self.total_blocks();
+        (pages as usize, blocks as usize)
+    }
 }
 
 #[cfg(test)]

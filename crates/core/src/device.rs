@@ -60,6 +60,29 @@ impl SscCounters {
         self.writes_clean + self.writes_dirty
     }
 
+    /// Field-wise sum of two counter snapshots — used to aggregate
+    /// per-shard counters into one device-wide view.
+    pub fn merged(&self, other: &SscCounters) -> SscCounters {
+        SscCounters {
+            host_reads: self.host_reads + other.host_reads,
+            read_misses: self.read_misses + other.read_misses,
+            writes_clean: self.writes_clean + other.writes_clean,
+            writes_dirty: self.writes_dirty + other.writes_dirty,
+            evict_ops: self.evict_ops + other.evict_ops,
+            clean_ops: self.clean_ops + other.clean_ops,
+            exists_ops: self.exists_ops + other.exists_ops,
+            silent_evictions: self.silent_evictions + other.silent_evictions,
+            silently_evicted_pages: self.silently_evicted_pages + other.silently_evicted_pages,
+            eviction_fallbacks: self.eviction_fallbacks + other.eviction_fallbacks,
+            switch_merges: self.switch_merges + other.switch_merges,
+            full_merges: self.full_merges + other.full_merges,
+            gc_copies: self.gc_copies + other.gc_copies,
+            checkpoints: self.checkpoints + other.checkpoints,
+            blocks_retired: self.blocks_retired + other.blocks_retired,
+            program_reissues: self.program_reissues + other.program_reissues,
+        }
+    }
+
     /// Hit rate of reads (1 - miss rate).
     pub fn read_hit_rate(&self) -> f64 {
         if self.host_reads == 0 {
@@ -154,10 +177,11 @@ impl Ssc {
         let ppb = config.flash.geometry.pages_per_block();
         let timing = config.flash.timing;
         let page_size = config.flash.geometry.page_size();
+        let (page_hint, block_hint) = config.map_capacity_hints();
         Ssc {
             config,
             dev,
-            maps: SscMaps::new(ppb),
+            maps: SscMaps::with_capacity(ppb, page_hint, block_hint),
             log_blocks: VecDeque::new(),
             pool,
             wal: Wal::new(timing, page_size),
@@ -404,6 +428,18 @@ impl Ssc {
         } else {
             Ok(Duration::ZERO)
         }
+    }
+
+    /// Barrier flush: synchronously commits any buffered log records.
+    /// Public so a sharded front-end can drain every shard's group-commit
+    /// buffer at an explicit sync point.
+    ///
+    /// # Errors
+    ///
+    /// [`SscError::PowerLoss`] if a scripted crash is armed at the
+    /// group-commit site.
+    pub fn commit_log(&mut self) -> Result<Duration> {
+        self.commit_sync()
     }
 
     /// Group commit: flush only once enough records have accumulated.

@@ -158,13 +158,28 @@ impl SscMaps {
     /// Panics if `ppb` exceeds 64 (the bitmap width; the paper's geometry
     /// uses 64).
     pub fn new(ppb: u32) -> Self {
+        Self::with_capacity(ppb, 0, 0)
+    }
+
+    /// Creates empty maps pre-sized for `page_hint` page-level and
+    /// `block_hint` block-level entries, avoiding rehash churn while the
+    /// cache warms up. Hints are advisory: the maps still grow on demand,
+    /// and oversized hints are clamped so a huge configured device cannot
+    /// balloon an idle map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppb` exceeds 64 (the bitmap width; the paper's geometry
+    /// uses 64).
+    pub fn with_capacity(ppb: u32, page_hint: usize, block_hint: usize) -> Self {
         assert!(
             ppb <= 64,
             "dirty/valid bitmaps support at most 64 pages per block"
         );
+        const MAX_HINT: usize = 1 << 22;
         SscMaps {
-            pages: SparseHashMap::new(),
-            blocks: SparseHashMap::new(),
+            pages: SparseHashMap::with_capacity(page_hint.min(MAX_HINT)),
+            blocks: SparseHashMap::with_capacity(block_hint.min(MAX_HINT)),
             ppb,
         }
     }

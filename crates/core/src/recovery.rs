@@ -35,7 +35,8 @@ impl Ssc {
     /// [`ConsistencyMode::None`] recovery produces an empty cache.
     pub fn crash(&mut self) -> usize {
         let lost = self.wal.crash();
-        self.maps = SscMaps::new(self.maps.ppb());
+        let (page_hint, block_hint) = self.config.map_capacity_hints();
+        self.maps = SscMaps::with_capacity(self.maps.ppb(), page_hint, block_hint);
         self.rebuild_clean_index();
         self.log_blocks.clear();
         self.pending_retire.clear();
@@ -72,7 +73,8 @@ impl Ssc {
     /// Flash faults while reconciling block state.
     pub fn recover(&mut self) -> Result<Duration> {
         let mut cost = self.dev.timing().metadata_cost();
-        let mut maps = SscMaps::new(self.maps.ppb());
+        let (page_hint, block_hint) = self.config.map_capacity_hints();
+        let mut maps = SscMaps::with_capacity(self.maps.ppb(), page_hint, block_hint);
         let mut base_lsn = 0;
         if self.config.consistency != ConsistencyMode::None {
             // Newest checkpoint first; a snapshot that fails validation

@@ -22,7 +22,7 @@ use flashtier::cachemgr::{
 use flashtier::disksim::{Disk, DiskConfig, DiskDataMode};
 use flashtier::flashsim::DataMode;
 use flashtier::ftl::{HybridFtl, SsdConfig};
-use flashtier::ssc::{CrashSite, Ssc, SscConfig, SscError};
+use flashtier::ssc::{CrashSite, ShardedSsc, Ssc, SscConfig, SscDevice, SscError};
 use std::collections::HashMap;
 
 const BLOCK: usize = 512;
@@ -69,13 +69,13 @@ trait CrashRecover: CacheSystem {
     fn power_cycle(&mut self) -> Result<(), CmError>;
 }
 
-impl CrashRecover for FlashTierWt {
+impl<D: SscDevice> CrashRecover for FlashTierWt<D> {
     fn power_cycle(&mut self) -> Result<(), CmError> {
         self.crash_and_recover().map(|_| ())
     }
 }
 
-impl CrashRecover for FlashTierWb {
+impl<D: SscDevice> CrashRecover for FlashTierWb<D> {
     fn power_cycle(&mut self) -> Result<(), CmError> {
         self.crash_and_recover().map(|_| ())
     }
@@ -120,14 +120,22 @@ fn check_exact<S: CacheSystem>(
     );
 }
 
-/// One fuzz campaign against an SSC-backed system: warm up, arm `site`,
-/// run until the power failure fires (or the op budget runs out), recover,
-/// then sweep the whole span against the shadow model and keep operating.
-/// Returns whether the armed crash actually fired.
-fn ssc_campaign<S, F>(mut system: S, mut ssc: F, seed: u64, site: CrashSite) -> bool
+/// One fuzz campaign against an SSC-backed system: warm up, arm `site`
+/// (via the `arm` hook, which may target a specific shard), run until the
+/// power failure fires (or the op budget runs out), recover, then sweep
+/// the whole span against the shadow model and keep operating. Returns
+/// whether the armed crash actually fired.
+fn ssc_campaign<S, A, Dis>(
+    mut system: S,
+    mut arm: A,
+    mut disarm: Dis,
+    seed: u64,
+    site: CrashSite,
+) -> bool
 where
     S: CrashRecover,
-    F: FnMut(&mut S) -> &mut Ssc,
+    A: FnMut(&mut S, CrashSite, u64),
+    Dis: FnMut(&mut S),
 {
     let mut rng = seed
         .wrapping_mul(0x2545_F491_4F6C_DD1D)
@@ -177,7 +185,7 @@ where
             .expect("no crash can fire before arming");
     }
     let after = lcg(&mut rng) % 3;
-    ssc(&mut system).arm_crash(site, after);
+    arm(&mut system, site, after);
     let mut fired = false;
     for _ in 0..FUZZ_OPS {
         if let Err((lba, wrote)) = op(&mut system, &mut shadow, &mut rng, &mut version) {
@@ -187,7 +195,7 @@ where
         }
     }
     if !fired {
-        ssc(&mut system).disarm_crash();
+        disarm(&mut system);
     }
 
     system
@@ -219,15 +227,16 @@ where
 
 /// Runs `seeds`-many campaigns per site and demands every site actually
 /// fired its power failure in most of them.
-fn fuzz_ssc_system<S, F, B>(mut build: B, ssc: F, sites: &[CrashSite], seeds: u64)
+fn fuzz_ssc_system<S, A, Dis, B>(mut build: B, arm: A, disarm: Dis, sites: &[CrashSite], seeds: u64)
 where
     S: CrashRecover,
     B: FnMut() -> S,
-    F: FnMut(&mut S) -> &mut Ssc + Copy,
+    A: FnMut(&mut S, CrashSite, u64) + Copy,
+    Dis: FnMut(&mut S) + Copy,
 {
     for &site in sites {
         let fired = (0..seeds)
-            .filter(|&seed| ssc_campaign(build(), ssc, seed, site))
+            .filter(|&seed| ssc_campaign(build(), arm, disarm, seed, site))
             .count();
         assert!(
             fired * 2 > seeds as usize,
@@ -248,7 +257,8 @@ fn flashtier_wt_survives_crashes_at_every_site() {
     ];
     fuzz_ssc_system(
         || FlashTierWt::new(Ssc::new(config()), disk()),
-        |s| s.ssc_mut(),
+        |s: &mut FlashTierWt, site, after| s.ssc_mut().arm_crash(site, after),
+        |s: &mut FlashTierWt| s.ssc_mut().disarm_crash(),
         &sites,
         15,
     );
@@ -265,7 +275,8 @@ fn flashtier_wb_survives_crashes_at_every_site() {
     ];
     fuzz_ssc_system(
         || FlashTierWb::new(Ssc::new(config()), disk()),
-        |s| s.ssc_mut(),
+        |s: &mut FlashTierWb, site, after| s.ssc_mut().arm_crash(site, after),
+        |s: &mut FlashTierWb| s.ssc_mut().disarm_crash(),
         &sites,
         12,
     );
@@ -309,4 +320,53 @@ fn native_wb_survives_crashes_at_operation_boundaries() {
             }
         }
     }
+}
+
+/// Two hash-partitioned shards behind the write-through manager. The crash
+/// is armed inside a *single* shard's machinery (the shard alternates with
+/// the armed trigger count); after the whole-device power failure every
+/// shard must roll forward and the full-span shadow sweep must hold — a
+/// crash in one shard can never cost another shard's acknowledged writes.
+#[test]
+fn sharded_flashtier_wt_survives_single_shard_crashes() {
+    let sites = [
+        CrashSite::GroupCommit,
+        CrashSite::Checkpoint,
+        CrashSite::CheckpointTorn,
+        CrashSite::Merge,
+    ];
+    fuzz_ssc_system(
+        || FlashTierWt::new(ShardedSsc::new(config(), 2), disk()),
+        |s: &mut FlashTierWt<ShardedSsc>, site, after| {
+            let shard = (after as usize) % s.ssc().num_shards();
+            s.ssc_mut().arm_crash_shard(shard, site, after);
+        },
+        |s: &mut FlashTierWt<ShardedSsc>| s.ssc_mut().disarm_crash(),
+        &sites,
+        15,
+    );
+}
+
+/// Same single-shard crash campaigns for the write-back manager, whose
+/// dirty-table rebuild additionally exercises the sharded `exists`
+/// scatter-gather after every recovery.
+#[test]
+fn sharded_flashtier_wb_survives_single_shard_crashes() {
+    let sites = [
+        CrashSite::GroupCommit,
+        CrashSite::Checkpoint,
+        CrashSite::CheckpointTorn,
+        CrashSite::Merge,
+        CrashSite::Clean,
+    ];
+    fuzz_ssc_system(
+        || FlashTierWb::new(ShardedSsc::new(config(), 2), disk()),
+        |s: &mut FlashTierWb<ShardedSsc>, site, after| {
+            let shard = (after as usize) % s.ssc().num_shards();
+            s.ssc_mut().arm_crash_shard(shard, site, after);
+        },
+        |s: &mut FlashTierWb<ShardedSsc>| s.ssc_mut().disarm_crash(),
+        &sites,
+        12,
+    );
 }
