@@ -25,50 +25,70 @@
 //!   shards replaying in parallel; the JSON gains a top-level `shards` key
 //!   and per-system `shard_events` arrays. `sim_time_us` becomes the
 //!   max-merged per-shard time (still seed-deterministic at every N); the
-//!   native baseline and the facade ignore the flag. With the flag absent
-//!   the output is byte-identical to a shard-free build.
+//!   native baseline and the facade ignore the flag, so a `--systems` list
+//!   with no FlashTier system combined with `--shards` is a usage error
+//!   (exit 2). With the flag absent the output is byte-identical to a
+//!   shard-free build.
+//!
+//! All flags are validated strictly: unknown flags, unparsable values and
+//! invalid combinations exit 2 with a message instead of silently
+//! measuring something else.
 
 use std::time::Instant;
 
+use flashtier_bench::cli::{parse_or_exit, usage_error};
 use flashtier_bench::replay::{
     run_system, run_system_sharded, ReplaySetup, ReplaySystem, SystemResult,
 };
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].as_str())
-}
+const FLAGS: &[&str] = &["--events", "--seed", "--systems", "--faults", "--shards"];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let events: u64 = flag_value(&args, "--events")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000_000);
+    let args = parse_or_exit(FLAGS);
+    let events: u64 = args
+        .get_or("--events", 1_000_000)
+        .unwrap_or_else(|e| usage_error(&e));
     let mut setup = ReplaySetup::perf(events);
-    if let Some(seed) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+    if let Some(seed) = args
+        .get_parsed("--seed")
+        .unwrap_or_else(|e| usage_error(&e))
+    {
         setup = setup.with_seed(seed);
     }
-    if let Some(ppm) = flag_value(&args, "--faults").and_then(|v| v.parse().ok()) {
+    if let Some(ppm) = args
+        .get_parsed("--faults")
+        .unwrap_or_else(|e| usage_error(&e))
+    {
         setup = setup.with_faults(ppm);
     }
-    let shards: Option<usize> = flag_value(&args, "--shards").and_then(|v| v.parse().ok());
+    let shards: Option<usize> = args
+        .get_parsed("--shards")
+        .unwrap_or_else(|e| usage_error(&e));
     if shards == Some(0) {
-        eprintln!("--shards must be at least 1");
-        std::process::exit(2);
+        usage_error("--shards must be at least 1");
     }
-    let systems: Vec<ReplaySystem> = match flag_value(&args, "--systems") {
+    let systems: Vec<ReplaySystem> = match args.get("--systems") {
         Some(list) => list
             .split(',')
             .map(|s| {
                 ReplaySystem::parse(s.trim()).unwrap_or_else(|| {
-                    eprintln!("unknown system {s:?}; valid: flashtier_wt,flashtier_wb,native_wb,facade_wt");
-                    std::process::exit(2);
+                    usage_error(&format!(
+                        "unknown system {s:?}; valid: flashtier_wt,flashtier_wb,native_wb,facade_wt"
+                    ));
                 })
             })
             .collect(),
         None => ReplaySystem::ALL.to_vec(),
     };
+    let shardable =
+        |k: &ReplaySystem| matches!(k, ReplaySystem::FlashtierWt | ReplaySystem::FlashtierWb);
+    if shards.is_some() && !systems.iter().any(shardable) {
+        usage_error(
+            "--shards requires at least one shardable system \
+             (flashtier_wt, flashtier_wb) in --systems; the native baseline \
+             and the facade have no partitioned build",
+        );
+    }
 
     let t = setup.workload();
 

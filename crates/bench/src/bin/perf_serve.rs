@@ -1,0 +1,165 @@
+//! Server latency/throughput gate: starts the cache server in-process
+//! over share-nothing shard stacks, drives it over loopback TCP with an
+//! open-loop (fixed arrival rate) or closed-loop (saturation) Zipf client
+//! fleet, and prints one JSON line with throughput, exact latency
+//! percentiles (p50/p90/p99/p999/max/mean) and error counts.
+//!
+//! Flags (all validated strictly — unknown flags and unparsable values
+//! exit 2):
+//! * `--ops N` — operations to offer (default 200,000)
+//! * `--conns C` — client connections (default 4)
+//! * `--rate R` — total offered ops/sec across connections; `0` (the
+//!   default) selects closed-loop saturation mode
+//! * `--duration S` — wall-clock cap in seconds (default 0 = whole
+//!   stream)
+//! * `--shards N` — server shard/worker count (default 4)
+//! * `--window W` — outstanding requests per connection in closed-loop
+//!   mode (default 32)
+//! * `--mode wt|wb` — manager behind the server (default `wt`)
+//! * `--seed S` — workload PRNG seed (default the committed gate seed)
+//! * `--faults PPM` — deterministic media-fault injection; adds a
+//!   `faults` object to the JSON
+//!
+//! Latency in open-loop mode is completion − *scheduled* arrival
+//! (coordinated-omission-free); in closed-loop mode it is round-trip from
+//! send. The workload and arrival schedule are seed-deterministic; wall
+//! times and latencies are host measurements.
+
+use flashtier_bench::cli::{parse_or_exit, usage_error};
+use flashtier_bench::replay::ReplaySetup;
+use flashtier_bench::serve::{run_serve, ServeMode, ServeSpec};
+
+const FLAGS: &[&str] = &[
+    "--ops",
+    "--conns",
+    "--rate",
+    "--duration",
+    "--shards",
+    "--window",
+    "--mode",
+    "--seed",
+    "--faults",
+];
+
+fn main() {
+    let args = parse_or_exit(FLAGS);
+    let ops: u64 = args
+        .get_or("--ops", 200_000)
+        .unwrap_or_else(|e| usage_error(&e));
+    let conns: usize = args
+        .get_or("--conns", 4)
+        .unwrap_or_else(|e| usage_error(&e));
+    let rate: f64 = args
+        .get_or("--rate", 0.0)
+        .unwrap_or_else(|e| usage_error(&e));
+    let duration_s: f64 = args
+        .get_or("--duration", 0.0)
+        .unwrap_or_else(|e| usage_error(&e));
+    let shards: usize = args
+        .get_or("--shards", 4)
+        .unwrap_or_else(|e| usage_error(&e));
+    let window: usize = args
+        .get_or("--window", 32)
+        .unwrap_or_else(|e| usage_error(&e));
+    let mode = match args.get("--mode") {
+        None => ServeMode::Wt,
+        Some(raw) => ServeMode::parse(raw)
+            .unwrap_or_else(|| usage_error(&format!("invalid --mode {raw:?}; valid: wt, wb"))),
+    };
+    if ops == 0 {
+        usage_error("--ops must be at least 1");
+    }
+    if conns == 0 {
+        usage_error("--conns must be at least 1");
+    }
+    if shards == 0 {
+        usage_error("--shards must be at least 1");
+    }
+    if window == 0 {
+        usage_error("--window must be at least 1");
+    }
+    if !rate.is_finite() || rate < 0.0 {
+        usage_error("--rate must be a non-negative number (0 = closed loop)");
+    }
+    if !duration_s.is_finite() || duration_s < 0.0 {
+        usage_error("--duration must be a non-negative number of seconds");
+    }
+
+    let mut replay = ReplaySetup::perf(ops);
+    if let Some(seed) = args
+        .get_parsed("--seed")
+        .unwrap_or_else(|e| usage_error(&e))
+    {
+        replay = replay.with_seed(seed);
+    }
+    if let Some(ppm) = args
+        .get_parsed("--faults")
+        .unwrap_or_else(|e| usage_error(&e))
+    {
+        replay = replay.with_faults(ppm);
+    }
+    let spec = ServeSpec {
+        replay,
+        conns,
+        rate,
+        duration_s,
+        shards,
+        mode,
+        window,
+    };
+    let out = run_serve(&spec);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // One JSON line, hand-assembled (the repo builds offline).
+    let mut json = format!(
+        "{{\"bench\":\"perf_serve\",\"workload\":\"zipf\",\"theta\":0.99,\
+         \"ops\":{ops},\"seed\":{},\"mode\":\"{}\",\"conns\":{conns},\
+         \"rate\":{rate},\"shards\":{shards},\"window\":{window},\
+         \"host_cores\":{host_cores},\"completed\":{},\"gets\":{},\
+         \"puts\":{},\"wall_s\":{:.4},\"throughput_ops_per_sec\":{:.0},\
+         \"latency_us\":{{\"samples\":{},\"p50\":{},\"p90\":{},\"p99\":{},\
+         \"p999\":{},\"max\":{},\"mean\":{:.1}}},\
+         \"errors\":{{\"op_errors\":{},\"protocol_errors\":{}}},\
+         \"server\":{{\"connections\":{},\"requests\":{},\"batches\":{},\
+         \"batched_ops\":{},\"sim_time_us\":{}}}",
+        spec.replay.seed,
+        mode.name(),
+        out.ops,
+        out.gets,
+        out.puts,
+        out.wall_s,
+        out.throughput,
+        out.latency.samples,
+        out.latency.p50_us,
+        out.latency.p90_us,
+        out.latency.p99_us,
+        out.latency.p999_us,
+        out.latency.max_us,
+        out.latency.mean_us,
+        out.op_errors,
+        out.server.protocol_errors,
+        out.server.connections,
+        out.server.requests,
+        out.server.batches,
+        out.server.batched_ops,
+        out.server.sim_time_us,
+    );
+    if let Some(f) = &out.faults {
+        json.push_str(&format!(
+            ",\"faults\":{{\"injected\":{},\"read_faults\":{},\
+             \"program_faults\":{},\"erase_faults\":{},\
+             \"blocks_retired\":{},\"read_fault_fallbacks\":{},\
+             \"destage_fault_invalidations\":{},\"lost_dirty_reads\":{}}}",
+            f.injected,
+            f.read_faults,
+            f.program_faults,
+            f.erase_faults,
+            f.blocks_retired,
+            f.read_fault_fallbacks,
+            f.destage_fault_invalidations,
+            f.lost_dirty_reads
+        ));
+    }
+    json.push('}');
+    println!("{json}");
+}

@@ -15,11 +15,13 @@
 //! targets, recorded in `EXPERIMENTS.md`.
 
 pub mod build;
+pub mod cli;
 pub mod experiments;
 pub mod microbench;
 pub mod prelude;
 pub mod replay;
 pub mod scaled;
+pub mod serve;
 pub mod tablefmt;
 
 /// Parses `--scale <f>` from argv (default 1.0 = the built-in defaults).

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use cachemgr::{
     replay, write_payload_into, ByteFacade, CacheSystem, FlashTierWb, FlashTierWt, NativeCache,
-    NativeConsistency, NativeMode, PageBuf,
+    NativeConsistency, NativeMode, PageBuf, ShardSet,
 };
 use disksim::{Disk, DiskConfig, DiskDataMode};
 use flashsim::{DataMode, FaultCounters, FaultPlan, FlashConfig};
@@ -168,6 +168,36 @@ impl ReplaySetup {
         system
     }
 
+    /// Share-nothing write-through shard stacks for the cache server: the
+    /// same 1/n-geometry split, decorrelated fault seeds and pure LBA
+    /// router as [`run_sharded_detail`], packaged as a
+    /// [`cachemgr::ShardSet`] the server's per-shard workers can own.
+    pub fn wt_shard_set(&self, shards: usize) -> ShardSet<FlashTierWt> {
+        let config = self.wt_config();
+        let per_shard = shard_config(&config, shards);
+        let plan = self.fault_plan();
+        ShardSet::from_parts(
+            (0..shards)
+                .map(|i| FlashTierWt::new(build_shard_ssc(per_shard, plan, i), self.disk()))
+                .collect(),
+            ShardRouter::new(shards, config.flash.geometry.pages_per_block()),
+        )
+    }
+
+    /// Share-nothing write-back shard stacks (see
+    /// [`ReplaySetup::wt_shard_set`]).
+    pub fn wb_shard_set(&self, shards: usize) -> ShardSet<FlashTierWb> {
+        let config = self.wb_config();
+        let per_shard = shard_config(&config, shards);
+        let plan = self.fault_plan();
+        ShardSet::from_parts(
+            (0..shards)
+                .map(|i| FlashTierWb::new(build_shard_ssc(per_shard, plan, i), self.disk()))
+                .collect(),
+            ShardRouter::new(shards, config.flash.geometry.pages_per_block()),
+        )
+    }
+
     /// Native write-back: FlashCache-style manager over the hybrid FTL,
     /// persisting metadata on every dirty-state change.
     pub fn native_wb(&self) -> NativeCache<HybridFtl> {
@@ -262,7 +292,7 @@ impl FaultReport {
         }
     }
 
-    fn new(injected: FaultCounters, retired: u64, mgr: cachemgr::MgrCounters) -> Self {
+    pub(crate) fn new(injected: FaultCounters, retired: u64, mgr: cachemgr::MgrCounters) -> Self {
         FaultReport {
             injected: injected.total(),
             read_faults: injected.read_failures + injected.read_corruptions,
@@ -510,6 +540,18 @@ where
     }
 }
 
+/// One shard's SSC: the 1/n-geometry config with the fault seed
+/// decorrelated per shard (shared by sharded replay and the cache
+/// server's shard sets, so the two paths cannot drift apart).
+fn build_shard_ssc(per_shard: SscConfig, plan: Option<FaultPlan>, i: usize) -> Ssc {
+    let mut ssc = Ssc::new(per_shard);
+    if let Some(mut p) = plan {
+        p.seed = flashtier_core::decorrelate_fault_seed(p.seed, i);
+        ssc.set_fault_plan(p);
+    }
+    ssc
+}
+
 /// Builds and replays one system partitioned over `shards` shards,
 /// returning the per-shard breakdown. Only the two FlashTier systems
 /// shard (the native baseline and the facade have no partitioned build);
@@ -536,14 +578,7 @@ pub fn run_sharded_detail(
     let per_shard = shard_config(&config, shards);
     let ppb = config.flash.geometry.pages_per_block();
     let plan = setup.fault_plan();
-    let build_ssc = |i: usize| {
-        let mut ssc = Ssc::new(per_shard);
-        if let Some(mut p) = plan {
-            p.seed = flashtier_core::decorrelate_fault_seed(p.seed, i);
-            ssc.set_fault_plan(p);
-        }
-        ssc
-    };
+    let build_ssc = |i: usize| build_shard_ssc(per_shard, plan, i);
     match kind {
         ReplaySystem::FlashtierWt => timed_sharded(
             kind,

@@ -1,0 +1,538 @@
+//! Open-loop load generation against the cache server.
+//!
+//! The `perf_serve` gate starts an in-process [`flashtier_server::Server`]
+//! over share-nothing shard stacks (built by
+//! [`ReplaySetup::wt_shard_set`]/[`wb_shard_set`]) and drives it over
+//! loopback TCP from `conns` pipelined client connections replaying a
+//! deterministic Zipf stream.
+//!
+//! Two load modes:
+//!
+//! * **Open loop** (`rate > 0`): each connection schedules arrivals from a
+//!   seeded exponential inter-arrival process and sends at the *scheduled*
+//!   time regardless of how far behind the responses are. Latency is
+//!   measured completion − scheduled arrival, so queueing delay from an
+//!   overloaded server is charged to the sample — the classic defence
+//!   against coordinated omission.
+//! * **Closed loop / saturation** (`rate == 0`): each connection keeps a
+//!   fixed window of requests outstanding and sends the next as each
+//!   response arrives; throughput is the saturation number, latency is
+//!   per-request round-trip under full pipelining.
+//!
+//! Percentiles are exact (sorted samples, not log-bucketed histograms) —
+//! a p999 read off a coarse histogram can be off by the bucket width,
+//! which is exactly the regime a tail-latency gate cares about.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use cachemgr::CacheSystem;
+use flashtier_server::{BlockClient, Server, ServerConfig, ServerStats};
+use simkit::SimRng;
+use trace::TraceEvent;
+
+use crate::replay::{FaultReport, ReplaySetup};
+
+/// Which manager fronts the shard stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// FlashTier write-through (SSC, clean+dirty durable maps).
+    Wt,
+    /// FlashTier write-back (SSC-R, dirty-only durable maps).
+    Wb,
+}
+
+impl ServeMode {
+    /// The JSON/report key for this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeMode::Wt => "wt",
+            ServeMode::Wb => "wb",
+        }
+    }
+
+    /// Parses a `--mode` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "wt" => Some(ServeMode::Wt),
+            "wb" => Some(ServeMode::Wb),
+            _ => None,
+        }
+    }
+}
+
+/// One serve-gate run's shape.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// Workload sizing, seed and fault plan (events = ops to offer).
+    pub replay: ReplaySetup,
+    /// Client connections.
+    pub conns: usize,
+    /// Total offered load in ops/sec across all connections; `0` selects
+    /// closed-loop saturation mode.
+    pub rate: f64,
+    /// Wall-clock cap in seconds; `0` = run the whole stream.
+    pub duration_s: f64,
+    /// Shard (worker) count behind the server.
+    pub shards: usize,
+    /// Manager mode.
+    pub mode: ServeMode,
+    /// Outstanding requests per connection in closed-loop mode.
+    pub window: usize,
+}
+
+/// Exact latency percentiles over the completed operations, microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Completed-operation count the percentiles are over.
+    pub samples: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut us: Vec<u64>) -> LatencySummary {
+        us.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if us.is_empty() {
+                return 0;
+            }
+            let idx = ((us.len() as f64 * q).ceil() as usize).max(1) - 1;
+            us[idx.min(us.len() - 1)]
+        };
+        LatencySummary {
+            samples: us.len() as u64,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            p999_us: pct(0.999),
+            max_us: us.last().copied().unwrap_or(0),
+            mean_us: if us.is_empty() {
+                0.0
+            } else {
+                us.iter().sum::<u64>() as f64 / us.len() as f64
+            },
+        }
+    }
+}
+
+/// What one serve run measured.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Operations completed (responses received).
+    pub ops: u64,
+    /// GETs sent.
+    pub gets: u64,
+    /// PUTs sent.
+    pub puts: u64,
+    /// `STATUS_ERR` responses observed by clients.
+    pub op_errors: u64,
+    /// Wall-clock seconds of the load region (first send to last
+    /// response).
+    pub wall_s: f64,
+    /// Completed operations per wall-clock second.
+    pub throughput: f64,
+    /// Exact client-side latency percentiles.
+    pub latency: LatencySummary,
+    /// Server-side counters after shutdown.
+    pub server: ServerStats,
+    /// Merged per-shard fault/degradation counters; `None` when faults
+    /// are off.
+    pub faults: Option<FaultReport>,
+}
+
+/// Runs one serve gate: builds the stacks, starts the server on an
+/// ephemeral loopback port, drives the load, shuts down gracefully and
+/// probes the returned stacks.
+///
+/// # Panics
+///
+/// Panics on socket errors (loopback setup failing is a harness bug, not
+/// a measurement).
+pub fn run_serve(spec: &ServeSpec) -> ServeOutcome {
+    assert!(spec.conns >= 1, "need at least one connection");
+    assert!(spec.shards >= 1, "need at least one shard");
+    let trace = spec.replay.workload();
+    let config = ServerConfig {
+        max_connections: spec.conns.max(ServerConfig::default().max_connections),
+        ..ServerConfig::default()
+    };
+    match spec.mode {
+        ServeMode::Wt => {
+            let server =
+                Server::start(spec.replay.wt_shard_set(spec.shards), "127.0.0.1:0", config)
+                    .expect("bind loopback server");
+            let load = drive_load(server.addr(), spec, &trace.events);
+            let report = server.shutdown();
+            let faults = spec.replay.fault_plan().map(|_| {
+                report
+                    .stacks
+                    .shards()
+                    .iter()
+                    .map(|s| {
+                        FaultReport::new(
+                            s.ssc().fault_counters(),
+                            s.ssc().counters().blocks_retired,
+                            s.counters(),
+                        )
+                    })
+                    .reduce(|a, b| a.merged(&b))
+                    .expect("at least one shard")
+            });
+            finish(load, report.stats, faults)
+        }
+        ServeMode::Wb => {
+            let server =
+                Server::start(spec.replay.wb_shard_set(spec.shards), "127.0.0.1:0", config)
+                    .expect("bind loopback server");
+            let load = drive_load(server.addr(), spec, &trace.events);
+            let report = server.shutdown();
+            let faults = spec.replay.fault_plan().map(|_| {
+                report
+                    .stacks
+                    .shards()
+                    .iter()
+                    .map(|s| {
+                        FaultReport::new(
+                            s.ssc().fault_counters(),
+                            s.ssc().counters().blocks_retired,
+                            s.counters(),
+                        )
+                    })
+                    .reduce(|a, b| a.merged(&b))
+                    .expect("at least one shard")
+            });
+            finish(load, report.stats, faults)
+        }
+    }
+}
+
+fn finish(load: LoadStats, server: ServerStats, faults: Option<FaultReport>) -> ServeOutcome {
+    ServeOutcome {
+        ops: load.completed,
+        gets: load.gets,
+        puts: load.puts,
+        op_errors: load.op_errors,
+        wall_s: load.wall_s,
+        throughput: if load.wall_s > 0.0 {
+            load.completed as f64 / load.wall_s
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_samples(load.latencies_us),
+        server,
+        faults,
+    }
+}
+
+/// Client-side totals across all connections.
+struct LoadStats {
+    completed: u64,
+    gets: u64,
+    puts: u64,
+    op_errors: u64,
+    wall_s: f64,
+    latencies_us: Vec<u64>,
+}
+
+/// One connection's share of the load (round-robin slices keep each
+/// connection's stream a subsequence of the original trace).
+struct ConnOutcome {
+    completed: u64,
+    gets: u64,
+    puts: u64,
+    op_errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn drive_load(addr: SocketAddr, spec: &ServeSpec, events: &[TraceEvent]) -> LoadStats {
+    let conns = spec.conns;
+    let slices: Vec<Vec<TraceEvent>> = (0..conns)
+        .map(|c| events.iter().skip(c).step_by(conns).copied().collect())
+        .collect();
+    let epoch = Instant::now();
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .iter()
+            .enumerate()
+            .map(|(c, slice)| {
+                scope.spawn(move || {
+                    if spec.rate > 0.0 {
+                        run_open_loop(addr, spec, c, slice, epoch)
+                    } else {
+                        run_closed_loop(addr, spec, c, slice, epoch)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load connection thread"))
+            .collect()
+    });
+    let wall_s = epoch.elapsed().as_secs_f64();
+    let mut stats = LoadStats {
+        completed: 0,
+        gets: 0,
+        puts: 0,
+        op_errors: 0,
+        wall_s,
+        latencies_us: Vec::new(),
+    };
+    for o in outcomes {
+        stats.completed += o.completed;
+        stats.gets += o.gets;
+        stats.puts += o.puts;
+        stats.op_errors += o.op_errors;
+        stats.latencies_us.extend(o.latencies_us);
+    }
+    stats
+}
+
+/// A standard-exponential sample from uniform bits (inverse CDF).
+fn exp_sample(rng: &mut SimRng) -> f64 {
+    let u = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    -u.ln()
+}
+
+/// Open loop: send at scheduled arrival times, measure completion −
+/// schedule. A sender thread paces the stream; the receiver thread on the
+/// same connection computes latencies against the schedule the sender
+/// published (indexed by request id, which is sequential per connection).
+/// Termination is connection-level: the sender half-closes when done
+/// ([`flashtier_server::SendHalf::finish`]), the server drains and
+/// closes, and the receiver exits on the resulting EOF — no "sender is
+/// done" flag a receiver could check just before blocking forever.
+fn run_open_loop(
+    addr: SocketAddr,
+    spec: &ServeSpec,
+    conn: usize,
+    events: &[TraceEvent],
+    epoch: Instant,
+) -> ConnOutcome {
+    let client = BlockClient::connect(addr).expect("connect load client");
+    let block = client.block_size();
+    let (mut tx, mut rx) = client.into_split();
+    let per_conn_rate = spec.rate / spec.conns as f64;
+    let mut rng = SimRng::seed_from(spec.replay.seed ^ (0x5E17E + conn as u64));
+    // scheduled[i] = ns-from-epoch the request was *due*; published before
+    // the bytes hit the wire, so the receiver never reads an empty slot.
+    let scheduled: Arc<Vec<AtomicU64>> =
+        Arc::new((0..events.len()).map(|_| AtomicU64::new(0)).collect());
+
+    std::thread::scope(|scope| {
+        let recv_scheduled = Arc::clone(&scheduled);
+        let receiver = scope.spawn(move || {
+            let mut out = ConnOutcome {
+                completed: 0,
+                gets: 0,
+                puts: 0,
+                op_errors: 0,
+                latencies_us: Vec::new(),
+            };
+            // Every sent request gets exactly one response before the
+            // server closes the drained connection, so EOF == complete.
+            while let Ok(resp) = rx.recv() {
+                let now_ns = epoch.elapsed().as_nanos() as u64;
+                let due_ns = recv_scheduled[resp.req_id as usize].load(Ordering::Acquire);
+                out.latencies_us.push(now_ns.saturating_sub(due_ns) / 1_000);
+                out.completed += 1;
+                if !resp.ok() {
+                    out.op_errors += 1;
+                }
+            }
+            out
+        });
+
+        let mut payload = vec![0u8; block];
+        let mut next_s = 0.0f64;
+        let mut gets = 0u64;
+        let mut puts = 0u64;
+        for (i, e) in events.iter().enumerate() {
+            next_s += exp_sample(&mut rng) / per_conn_rate;
+            if spec.duration_s > 0.0 && next_s > spec.duration_s {
+                break;
+            }
+            let due = StdDuration::from_secs_f64(next_s);
+            loop {
+                let elapsed = epoch.elapsed();
+                if elapsed >= due {
+                    break;
+                }
+                // Sleep the bulk, never past the deadline.
+                std::thread::sleep((due - elapsed).min(StdDuration::from_millis(1)));
+            }
+            scheduled[i].store(due.as_nanos() as u64, Ordering::Release);
+            if e.is_write() {
+                payload[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                tx.send_put(e.lba, &payload).expect("send put");
+                puts += 1;
+            } else {
+                tx.send_get(e.lba).expect("send get");
+                gets += 1;
+            }
+            // Open loop is latency-first: push every request to the wire
+            // at its arrival time rather than batching sends.
+            tx.flush_io().expect("flush requests");
+        }
+        tx.finish().expect("half-close load connection");
+        let mut out = receiver.join().expect("receiver thread");
+        out.gets = gets;
+        out.puts = puts;
+        out
+    })
+}
+
+/// Closed loop: keep `window` requests outstanding, send-on-receive.
+/// Latency is round-trip from send; throughput is the saturation number.
+fn run_closed_loop(
+    addr: SocketAddr,
+    spec: &ServeSpec,
+    _conn: usize,
+    events: &[TraceEvent],
+    epoch: Instant,
+) -> ConnOutcome {
+    let client = BlockClient::connect(addr).expect("connect load client");
+    let block = client.block_size();
+    let (mut tx, mut rx) = client.into_split();
+    let mut payload = vec![0u8; block];
+    let mut send_ns: Vec<u64> = vec![0; events.len()];
+    let mut out = ConnOutcome {
+        completed: 0,
+        gets: 0,
+        puts: 0,
+        op_errors: 0,
+        latencies_us: Vec::new(),
+    };
+    let send_one = |i: usize,
+                    tx: &mut flashtier_server::SendHalf,
+                    payload: &mut Vec<u8>,
+                    gets: &mut u64,
+                    puts: &mut u64,
+                    send_ns: &mut Vec<u64>| {
+        let e = &events[i];
+        send_ns[i] = epoch.elapsed().as_nanos() as u64;
+        if e.is_write() {
+            payload[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            tx.send_put(e.lba, payload).expect("send put");
+            *puts += 1;
+        } else {
+            tx.send_get(e.lba).expect("send get");
+            *gets += 1;
+        }
+    };
+    let window = spec.window.max(1).min(events.len());
+    for i in 0..window {
+        send_one(
+            i,
+            &mut tx,
+            &mut payload,
+            &mut out.gets,
+            &mut out.puts,
+            &mut send_ns,
+        );
+    }
+    tx.flush_io().expect("flush requests");
+    let mut next = window;
+    let mut sent = window as u64;
+    while out.completed < sent {
+        let resp = rx.recv().expect("receive response");
+        let now_ns = epoch.elapsed().as_nanos() as u64;
+        out.latencies_us
+            .push(now_ns.saturating_sub(send_ns[resp.req_id as usize]) / 1_000);
+        out.completed += 1;
+        if !resp.ok() {
+            out.op_errors += 1;
+        }
+        let capped = spec.duration_s > 0.0 && epoch.elapsed().as_secs_f64() > spec.duration_s;
+        if next < events.len() && !capped {
+            send_one(
+                next,
+                &mut tx,
+                &mut payload,
+                &mut out.gets,
+                &mut out.puts,
+                &mut send_ns,
+            );
+            tx.flush_io().expect("flush requests");
+            next += 1;
+            sent += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_sampling_has_unit_mean() {
+        let mut rng = SimRng::seed_from(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp_sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn latency_summary_is_exact() {
+        let s = LatencySummary::from_samples((1..=1000).collect());
+        assert_eq!(s.samples, 1000);
+        assert_eq!(s.p50_us, 500);
+        assert_eq!(s.p99_us, 990);
+        assert_eq!(s.p999_us, 999);
+        assert_eq!(s.max_us, 1000);
+        assert!((s.mean_us - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_smoke_end_to_end() {
+        let spec = ServeSpec {
+            replay: ReplaySetup::micro(2_000),
+            conns: 2,
+            rate: 0.0,
+            duration_s: 0.0,
+            shards: 2,
+            mode: ServeMode::Wt,
+            window: 8,
+        };
+        let out = run_serve(&spec);
+        assert_eq!(out.ops, 2_000);
+        assert_eq!(out.gets + out.puts, 2_000);
+        assert_eq!(out.op_errors, 0);
+        assert_eq!(out.server.protocol_errors, 0);
+        assert_eq!(out.server.requests, 2_000);
+        assert_eq!(out.latency.samples, 2_000);
+        assert!(out.latency.p50_us <= out.latency.p99_us);
+        assert!(out.latency.p99_us <= out.latency.max_us);
+    }
+
+    #[test]
+    fn open_loop_smoke_end_to_end() {
+        let spec = ServeSpec {
+            replay: ReplaySetup::micro(500),
+            conns: 2,
+            rate: 50_000.0,
+            duration_s: 0.0,
+            shards: 1,
+            mode: ServeMode::Wb,
+            window: 32,
+        };
+        let out = run_serve(&spec);
+        assert_eq!(out.ops, 500);
+        assert_eq!(out.op_errors, 0);
+        assert_eq!(out.latency.samples, 500);
+    }
+}

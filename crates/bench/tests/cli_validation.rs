@@ -1,0 +1,158 @@
+//! The gate binaries must fail loudly (exit 2, message on stderr) on
+//! invalid flags or flag combinations — a CI pipeline that typos a flag
+//! must not silently measure the wrong thing.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .expect("spawn gate binary")
+}
+
+fn assert_usage_error(out: &Output, needle: &str) {
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "expected exit 2, got {:?}; stderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "stderr missing {needle:?}: {stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "a usage error must not print a result line"
+    );
+}
+
+const REPLAY: &str = env!("CARGO_BIN_EXE_perf_replay");
+const SERVE: &str = env!("CARGO_BIN_EXE_perf_serve");
+
+#[test]
+fn replay_rejects_unknown_flag() {
+    assert_usage_error(&run(REPLAY, &["--event", "10"]), "unknown argument");
+}
+
+#[test]
+fn replay_rejects_unparsable_value() {
+    // The old parser silently fell back to the default event count here.
+    assert_usage_error(
+        &run(REPLAY, &["--events", "many"]),
+        "invalid value for --events",
+    );
+}
+
+#[test]
+fn replay_rejects_missing_value() {
+    assert_usage_error(&run(REPLAY, &["--events"]), "requires a value");
+}
+
+#[test]
+fn replay_rejects_zero_shards() {
+    assert_usage_error(
+        &run(REPLAY, &["--shards", "0", "--events", "10"]),
+        "--shards must be at least 1",
+    );
+}
+
+#[test]
+fn replay_rejects_shards_with_no_shardable_system() {
+    // The native baseline and the facade have no partitioned build; the
+    // old parser silently fell back to unsharded runs.
+    assert_usage_error(
+        &run(
+            REPLAY,
+            &[
+                "--shards",
+                "4",
+                "--systems",
+                "native_wb,facade_wt",
+                "--events",
+                "10",
+            ],
+        ),
+        "--shards requires at least one shardable system",
+    );
+}
+
+#[test]
+fn replay_rejects_unknown_system() {
+    assert_usage_error(
+        &run(REPLAY, &["--systems", "flashtier_wt,bogus"]),
+        "unknown system",
+    );
+}
+
+#[test]
+fn replay_accepts_valid_sharded_run() {
+    let out = run(
+        REPLAY,
+        &[
+            "--events",
+            "200",
+            "--shards",
+            "2",
+            "--systems",
+            "flashtier_wt",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"shards\":2"), "{stdout}");
+    assert!(stdout.contains("\"shard_events\":["), "{stdout}");
+}
+
+#[test]
+fn serve_rejects_unknown_flag() {
+    assert_usage_error(&run(SERVE, &["--connections", "2"]), "unknown argument");
+}
+
+#[test]
+fn serve_rejects_invalid_mode() {
+    assert_usage_error(&run(SERVE, &["--mode", "writeback"]), "invalid --mode");
+}
+
+#[test]
+fn serve_rejects_zero_conns_and_negative_rate() {
+    assert_usage_error(&run(SERVE, &["--conns", "0"]), "--conns must be at least 1");
+    assert_usage_error(
+        &run(SERVE, &["--rate", "-5"]),
+        "--rate must be a non-negative number",
+    );
+}
+
+#[test]
+fn serve_rejects_unparsable_ops() {
+    assert_usage_error(&run(SERVE, &["--ops", "lots"]), "invalid value for --ops");
+}
+
+#[test]
+fn serve_smoke_produces_json() {
+    let out = run(
+        SERVE,
+        &[
+            "--ops", "400", "--conns", "2", "--shards", "2", "--window", "8",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"bench\":\"perf_serve\""), "{stdout}");
+    assert!(stdout.contains("\"completed\":400"), "{stdout}");
+    assert!(
+        stdout.contains("\"errors\":{\"op_errors\":0,\"protocol_errors\":0}"),
+        "{stdout}"
+    );
+}

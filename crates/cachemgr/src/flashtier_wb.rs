@@ -219,6 +219,18 @@ impl<D: SscDevice> FlashTierWb<D> {
         Ok(cost)
     }
 
+    /// Durability barrier: drains the SSC's buffered group-commit records
+    /// so every acknowledged operation is crash-durable. `write-dirty` is
+    /// already synchronously committed; the barrier additionally hardens
+    /// buffered `write-clean`/`clean` records before a planned stop.
+    ///
+    /// # Errors
+    ///
+    /// Flash faults during the synchronous commit.
+    pub fn barrier_flush(&mut self) -> Result<Duration> {
+        Ok(self.ssc.barrier_flush()?)
+    }
+
     /// Simulates a crash followed by recovery: the SSC recovers its maps
     /// (the returned time), then the manager repopulates the dirty table
     /// with `exists` — which "can overlap normal activity and thus does not

@@ -99,6 +99,17 @@ impl<D: SscDevice> FlashTierWt<D> {
         self.ssc.set_fault_plan(plan);
     }
 
+    /// Durability barrier: drains the SSC's buffered group-commit records
+    /// so every acknowledged operation is crash-durable. The server's
+    /// graceful shutdown runs each shard's drain through this.
+    ///
+    /// # Errors
+    ///
+    /// Flash faults during the synchronous commit.
+    pub fn barrier_flush(&mut self) -> Result<Duration> {
+        Ok(self.ssc.barrier_flush()?)
+    }
+
     /// Simulates a crash followed by recovery. A write-through manager "may
     /// immediately begin using the SSC; it maintains no transient in-memory
     /// state" — the returned time is the SSC's recovery alone.

@@ -28,6 +28,7 @@ pub mod flashtier_wt;
 pub mod lru;
 pub mod metrics;
 pub mod native;
+pub mod sharded;
 pub mod system;
 
 pub use bloom::BloomFilter;
@@ -39,6 +40,7 @@ pub use flashtier_wt::FlashTierWt;
 pub use lru::LruList;
 pub use metrics::MgrCounters;
 pub use native::{NativeCache, NativeConsistency, NativeMode};
+pub use sharded::ShardSet;
 pub use simkit::PageBuf;
 pub use system::{replay, write_payload, write_payload_into, CacheSystem, ReplayStats};
 

@@ -51,6 +51,26 @@ impl MgrCounters {
         }
     }
 
+    /// Field-wise sum of two counter sets — used to aggregate per-shard
+    /// manager stacks into one device-wide view.
+    pub fn merged(&self, o: &MgrCounters) -> MgrCounters {
+        MgrCounters {
+            reads: self.reads + o.reads,
+            writes: self.writes + o.writes,
+            read_hits: self.read_hits + o.read_hits,
+            read_misses: self.read_misses + o.read_misses,
+            writebacks: self.writebacks + o.writebacks,
+            cleans_issued: self.cleans_issued + o.cleans_issued,
+            evictions: self.evictions + o.evictions,
+            metadata_writes: self.metadata_writes + o.metadata_writes,
+            bloom_skips: self.bloom_skips + o.bloom_skips,
+            read_fault_fallbacks: self.read_fault_fallbacks + o.read_fault_fallbacks,
+            destage_fault_invalidations: self.destage_fault_invalidations
+                + o.destage_fault_invalidations,
+            lost_dirty_reads: self.lost_dirty_reads + o.lost_dirty_reads,
+        }
+    }
+
     /// Difference of two snapshots (`self` later than `earlier`) — used to
     /// exclude cache warm-up from measurements.
     pub fn since(&self, earlier: &MgrCounters) -> MgrCounters {

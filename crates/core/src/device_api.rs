@@ -77,6 +77,17 @@ pub trait SscDevice {
     /// `exists`: the dirty blocks within `[start, end)`, sorted.
     fn exists(&mut self, start: u64, end: u64) -> (Vec<u64>, Duration);
 
+    /// Durability barrier: synchronously commits any buffered
+    /// (group-commit) log records, so every previously acknowledged
+    /// operation survives a crash. On a sharded device this drains every
+    /// shard and max-merges the per-shard clocks — it is the sync point the
+    /// server's graceful-shutdown drain runs through.
+    ///
+    /// # Errors
+    ///
+    /// Flash faults, or a scripted power loss armed at the commit site.
+    fn barrier_flush(&mut self) -> Result<Duration>;
+
     /// Simulates a power failure; returns the number of buffered log
     /// records lost.
     fn crash(&mut self) -> usize;
@@ -141,6 +152,10 @@ impl SscDevice for Ssc {
 
     fn exists(&mut self, start: u64, end: u64) -> (Vec<u64>, Duration) {
         Ssc::exists(self, start, end)
+    }
+
+    fn barrier_flush(&mut self) -> Result<Duration> {
+        Ssc::commit_log(self)
     }
 
     fn crash(&mut self) -> usize {

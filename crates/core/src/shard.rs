@@ -467,6 +467,10 @@ impl SscDevice for ShardedSsc {
         ShardedSsc::exists(self, start, end)
     }
 
+    fn barrier_flush(&mut self) -> Result<Duration> {
+        ShardedSsc::barrier_flush(self)
+    }
+
     fn crash(&mut self) -> usize {
         ShardedSsc::crash(self)
     }

@@ -1,0 +1,208 @@
+//! Clients for the block-cache protocol.
+//!
+//! [`BlockClient`] is the simple synchronous client: one outstanding
+//! request, responses arrive in order. [`BlockClient::into_split`] turns it
+//! into a pipelined pair — a [`SendHalf`] and a [`RecvHalf`] that two
+//! threads drive independently, which is what the open-loop load generator
+//! needs (it must keep issuing requests at the arrival rate regardless of
+//! how far behind the responses are).
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use crate::protocol::{Hello, Request, Response};
+
+/// A synchronous protocol client.
+#[derive(Debug)]
+pub struct BlockClient {
+    send: SendHalf,
+    recv: RecvHalf,
+    hello: Hello,
+}
+
+impl BlockClient {
+    /// Connects and reads the server hello.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure or a malformed hello.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<BlockClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_stream = stream.try_clone()?;
+        let mut reader = BufReader::with_capacity(64 * 1024, stream);
+        let hello = Hello::read_from(&mut reader)?;
+        Ok(BlockClient {
+            send: SendHalf {
+                writer: BufWriter::with_capacity(64 * 1024, write_stream),
+                next_id: 0,
+                block_size: hello.block_size as usize,
+            },
+            recv: RecvHalf { reader },
+            hello,
+        })
+    }
+
+    /// The server's hello (block size, shard count).
+    pub fn hello(&self) -> Hello {
+        self.hello
+    }
+
+    /// Device block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.hello.block_size as usize
+    }
+
+    /// Reads one block, waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure; a `STATUS_ERR` response is returned, not an error.
+    pub fn get(&mut self, lba: u64) -> io::Result<Response> {
+        let id = self.send.send_get(lba)?;
+        self.send.flush_io()?;
+        let resp = self.recv.recv()?;
+        debug_assert_eq!(resp.req_id, id);
+        Ok(resp)
+    }
+
+    /// Writes one block, waiting for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure; a `STATUS_ERR` response is returned, not an error.
+    pub fn put(&mut self, lba: u64, data: &[u8]) -> io::Result<Response> {
+        let id = self.send.send_put(lba, data)?;
+        self.send.flush_io()?;
+        let resp = self.recv.recv()?;
+        debug_assert_eq!(resp.req_id, id);
+        Ok(resp)
+    }
+
+    /// Runs a whole-device durability barrier, waiting for completion.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure; a `STATUS_ERR` response is returned, not an error.
+    pub fn flush(&mut self) -> io::Result<Response> {
+        let id = self.send.send_flush()?;
+        self.send.flush_io()?;
+        let resp = self.recv.recv()?;
+        debug_assert_eq!(resp.req_id, id);
+        Ok(resp)
+    }
+
+    /// Splits into independently driven send/receive halves for
+    /// pipelining.
+    pub fn into_split(self) -> (SendHalf, RecvHalf) {
+        (self.send, self.recv)
+    }
+}
+
+/// The write side of a pipelined connection. Request ids are sequential
+/// from 0, so the caller can index per-request bookkeeping by id.
+#[derive(Debug)]
+pub struct SendHalf {
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    block_size: usize,
+}
+
+impl SendHalf {
+    /// Enqueues a `GET`; returns its request id. Buffered — call
+    /// [`SendHalf::flush_io`] to push bytes to the wire.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn send_get(&mut self, lba: u64) -> io::Result<u64> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        Request::Get { req_id, lba }.write_to(&mut self.writer)?;
+        Ok(req_id)
+    }
+
+    /// Enqueues a `PUT`; returns its request id.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a payload that is not exactly one block.
+    pub fn send_put(&mut self, lba: u64, data: &[u8]) -> io::Result<u64> {
+        if data.len() != self.block_size {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "payload is {} B, device block is {} B",
+                    data.len(),
+                    self.block_size
+                ),
+            ));
+        }
+        let req_id = self.next_id;
+        self.next_id += 1;
+        Request::Put {
+            req_id,
+            lba,
+            data: data.to_vec(),
+        }
+        .write_to(&mut self.writer)?;
+        Ok(req_id)
+    }
+
+    /// Enqueues a `FLUSH`; returns its request id.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn send_flush(&mut self) -> io::Result<u64> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        Request::Flush { req_id }.write_to(&mut self.writer)?;
+        Ok(req_id)
+    }
+
+    /// Flushes buffered request bytes to the socket.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn flush_io(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Ids handed out so far (== requests enqueued).
+    pub fn sent(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Flushes and half-closes the connection (no more requests). The
+    /// server drains what was sent, writes every response, and closes —
+    /// so the paired [`RecvHalf`] sees the remaining responses followed
+    /// by a clean error, giving pipelined drivers a race-free way to end
+    /// a stream without out-of-band "sender is done" signalling.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().shutdown(Shutdown::Write)
+    }
+}
+
+/// The read side of a pipelined connection.
+#[derive(Debug)]
+pub struct RecvHalf {
+    reader: BufReader<TcpStream>,
+}
+
+impl RecvHalf {
+    /// Blocks for the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure (including the server closing the connection).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        Response::read_from(&mut self.reader)
+    }
+}

@@ -1,0 +1,38 @@
+//! A concurrent cache-server front-end for the FlashTier stack.
+//!
+//! FlashTier positions the SSC under a live cache manager serving
+//! foreground I/O; production flash caches (Flashield, memcached-on-flash)
+//! are *services* evaluated under concurrent client load with tail-latency
+//! SLOs. This crate puts that service layer on top of the sharded
+//! managers: a block-`GET`/`PUT`/`FLUSH` protocol server
+//! ([`Server`]) fronting a share-nothing [`cachemgr::ShardSet`] of
+//! `FlashTierWt`/`FlashTierWb` stacks, with
+//!
+//! * semaphore-bounded connections (back-pressure instead of unbounded
+//!   thread growth),
+//! * per-shard request routing that preserves per-LBA ordering with no
+//!   data-path locks,
+//! * batched submission into each manager behind one worker per shard, and
+//! * graceful shutdown that drains in-flight operations through the
+//!   `barrier_flush` durability barrier and returns the stacks.
+//!
+//! The workspace builds offline with no async runtime available, so the
+//! server is plain `std::net` blocking I/O on OS threads — the
+//! architecture (bounded accept, share-nothing shard workers, pipelined
+//! connections) is runtime-agnostic and is exactly what a tokio front-end
+//! would schedule onto tasks instead of threads.
+//!
+//! See `DESIGN.md` §11 for the ordering and drain guarantees, and the
+//! `perf_serve` binary in `flashtier-bench` for the open-loop load
+//! generator that measures p50/p99/p999 latency and saturation throughput
+//! against this server.
+
+pub mod client;
+pub mod protocol;
+pub mod semaphore;
+pub mod server;
+
+pub use client::{BlockClient, RecvHalf, SendHalf};
+pub use protocol::{Hello, Request, Response, STATUS_ERR, STATUS_OK};
+pub use semaphore::{Permit, Semaphore};
+pub use server::{ServeSystem, Server, ServerConfig, ServerStats, ShutdownReport};

@@ -1,0 +1,368 @@
+//! The block-cache wire protocol.
+//!
+//! A deliberately small binary protocol, little-endian throughout:
+//!
+//! ```text
+//! hello    (server → client, once):  "FT" | version:u8 | 0 | block_size:u32 | shards:u32
+//! request  (client → server):        op:u8 | req_id:u64 | lba:u64 | len:u32 | payload[len]
+//! response (server → client):        req_id:u64 | status:u8 | len:u32 | payload[len]
+//! ```
+//!
+//! Three operations: `GET` (read one block; the response carries the
+//! data), `PUT` (write one block; `len` must equal the device block size),
+//! and `FLUSH` (a whole-device durability barrier; the response arrives
+//! after every shard has drained its group-commit buffer). Responses are
+//! matched to requests by `req_id`, chosen by the client — the server may
+//! complete requests out of order across LBAs, but never reorders two
+//! operations on the same LBA.
+//!
+//! Framing errors are unrecoverable for the connection (the byte stream
+//! has lost sync); the server counts them and closes the connection.
+
+use std::io::{self, Read, Write};
+
+/// Protocol magic ("FT") and version, leading every hello frame.
+pub const MAGIC: [u8; 2] = *b"FT";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Opcode for a block read.
+pub const OP_GET: u8 = 1;
+/// Opcode for a block write.
+pub const OP_PUT: u8 = 2;
+/// Opcode for a whole-device durability barrier.
+pub const OP_FLUSH: u8 = 3;
+
+/// Response status: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status: the operation failed server-side (device fault, LBA
+/// out of range). The connection stays usable.
+pub const STATUS_ERR: u8 = 1;
+
+/// Hard upper bound on any frame payload, guarding the server against a
+/// hostile or corrupt length field.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// What the server tells a client on connect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Data-path block size in bytes; `PUT` payloads must be exactly this.
+    pub block_size: u32,
+    /// Number of shards behind the server (informational).
+    pub shards: u32,
+}
+
+impl Hello {
+    /// Serializes the hello frame.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut frame = [0u8; 12];
+        frame[..2].copy_from_slice(&MAGIC);
+        frame[2] = VERSION;
+        frame[4..8].copy_from_slice(&self.block_size.to_le_bytes());
+        frame[8..12].copy_from_slice(&self.shards.to_le_bytes());
+        w.write_all(&frame)
+    }
+
+    /// Reads and validates the hello frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, bad magic, or an unsupported version.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Hello> {
+        let mut frame = [0u8; 12];
+        r.read_exact(&mut frame)?;
+        if frame[..2] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        if frame[2] != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported protocol version {}", frame[2]),
+            ));
+        }
+        Ok(Hello {
+            block_size: u32::from_le_bytes(frame[4..8].try_into().unwrap()),
+            shards: u32::from_le_bytes(frame[8..12].try_into().unwrap()),
+        })
+    }
+}
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read the block at `lba`.
+    Get {
+        /// Client-chosen id echoed in the response.
+        req_id: u64,
+        /// Logical block address.
+        lba: u64,
+    },
+    /// Write one block of data at `lba`.
+    Put {
+        /// Client-chosen id echoed in the response.
+        req_id: u64,
+        /// Logical block address.
+        lba: u64,
+        /// Exactly one block of data.
+        data: Vec<u8>,
+    },
+    /// Whole-device durability barrier.
+    Flush {
+        /// Client-chosen id echoed in the response.
+        req_id: u64,
+    },
+}
+
+impl Request {
+    /// The client-chosen request id.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Request::Get { req_id, .. }
+            | Request::Put { req_id, .. }
+            | Request::Flush { req_id } => *req_id,
+        }
+    }
+
+    /// Serializes the request frame.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let (op, req_id, lba, data): (u8, u64, u64, &[u8]) = match self {
+            Request::Get { req_id, lba } => (OP_GET, *req_id, *lba, &[]),
+            Request::Put { req_id, lba, data } => (OP_PUT, *req_id, *lba, data),
+            Request::Flush { req_id } => (OP_FLUSH, *req_id, 0, &[]),
+        };
+        let mut header = [0u8; 21];
+        header[0] = op;
+        header[1..9].copy_from_slice(&req_id.to_le_bytes());
+        header[9..17].copy_from_slice(&lba.to_le_bytes());
+        header[17..21].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        w.write_all(&header)?;
+        if !data.is_empty() {
+            w.write_all(data)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of reading one request frame.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A well-formed request.
+    Request(Request),
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The byte stream is out of sync (unknown opcode, oversized or
+    /// mis-sized payload); the connection must be closed.
+    Malformed(String),
+}
+
+/// Reads one request frame. `block_size` bounds `PUT` payloads: anything
+/// other than exactly one block is malformed.
+///
+/// # Errors
+///
+/// Propagates I/O errors; clean EOF at a frame boundary is
+/// [`ReadOutcome::Eof`], not an error.
+pub fn read_request<R: Read>(r: &mut R, block_size: u32) -> io::Result<ReadOutcome> {
+    let mut header = [0u8; 21];
+    // Distinguish clean EOF (no bytes) from a torn header.
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(ReadOutcome::Eof),
+            0 => {
+                return Ok(ReadOutcome::Malformed(format!(
+                    "connection closed mid-header ({filled}/21 bytes)"
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let op = header[0];
+    let req_id = u64::from_le_bytes(header[1..9].try_into().unwrap());
+    let lba = u64::from_le_bytes(header[9..17].try_into().unwrap());
+    let len = u32::from_le_bytes(header[17..21].try_into().unwrap());
+    match op {
+        OP_GET | OP_FLUSH => {
+            if len != 0 {
+                return Ok(ReadOutcome::Malformed(format!(
+                    "op {op} carries an unexpected {len}-byte payload"
+                )));
+            }
+            Ok(ReadOutcome::Request(if op == OP_GET {
+                Request::Get { req_id, lba }
+            } else {
+                Request::Flush { req_id }
+            }))
+        }
+        OP_PUT => {
+            if len != block_size || len > MAX_PAYLOAD {
+                return Ok(ReadOutcome::Malformed(format!(
+                    "PUT payload {len} B, device block is {block_size} B"
+                )));
+            }
+            let mut data = vec![0u8; len as usize];
+            r.read_exact(&mut data)?;
+            Ok(ReadOutcome::Request(Request::Put { req_id, lba, data }))
+        }
+        other => Ok(ReadOutcome::Malformed(format!("unknown opcode {other}"))),
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub req_id: u64,
+    /// [`STATUS_OK`] or [`STATUS_ERR`].
+    pub status: u8,
+    /// Block data for a successful `GET`; empty otherwise.
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// Whether the operation succeeded.
+    pub fn ok(&self) -> bool {
+        self.status == STATUS_OK
+    }
+
+    /// Serializes the response frame.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut header = [0u8; 13];
+        header[..8].copy_from_slice(&self.req_id.to_le_bytes());
+        header[8] = self.status;
+        header[9..13].copy_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        w.write_all(&header)?;
+        if !self.payload.is_empty() {
+            w.write_all(&self.payload)?;
+        }
+        Ok(())
+    }
+
+    /// Reads one response frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or an oversized length field.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Response> {
+        let mut header = [0u8; 13];
+        r.read_exact(&mut header)?;
+        let req_id = u64::from_le_bytes(header[..8].try_into().unwrap());
+        let status = header[8];
+        let len = u32::from_le_bytes(header[9..13].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response payload {len} B exceeds protocol maximum"),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        Ok(Response {
+            req_id,
+            status,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip(req: Request) {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        match read_request(&mut Cursor::new(buf), 512).unwrap() {
+            ReadOutcome::Request(got) => assert_eq!(got, req),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        round_trip(Request::Get { req_id: 7, lba: 42 });
+        round_trip(Request::Put {
+            req_id: u64::MAX,
+            lba: 1 << 40,
+            data: vec![0xAB; 512],
+        });
+        round_trip(Request::Flush { req_id: 0 });
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        for resp in [
+            Response {
+                req_id: 3,
+                status: STATUS_OK,
+                payload: vec![1, 2, 3],
+            },
+            Response {
+                req_id: 9,
+                status: STATUS_ERR,
+                payload: Vec::new(),
+            },
+        ] {
+            let mut buf = Vec::new();
+            resp.write_to(&mut buf).unwrap();
+            assert_eq!(Response::read_from(&mut Cursor::new(buf)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_not_malformed() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_request(&mut Cursor::new(empty), 512).unwrap(),
+            ReadOutcome::Eof
+        ));
+    }
+
+    #[test]
+    fn torn_header_is_malformed() {
+        let torn = [OP_GET, 1, 2, 3];
+        assert!(matches!(
+            read_request(&mut Cursor::new(torn), 512).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn wrong_put_size_and_bad_opcode_are_malformed() {
+        let mut buf = Vec::new();
+        Request::Put {
+            req_id: 1,
+            lba: 1,
+            data: vec![0; 100],
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        assert!(matches!(
+            read_request(&mut Cursor::new(buf), 512).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+        let bad = {
+            let mut h = [0u8; 21];
+            h[0] = 99;
+            h
+        };
+        assert!(matches!(
+            read_request(&mut Cursor::new(bad), 512).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_bad_magic() {
+        let h = Hello {
+            block_size: 4096,
+            shards: 4,
+        };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        assert_eq!(Hello::read_from(&mut Cursor::new(buf)).unwrap(), h);
+        let bad = vec![0u8; 12];
+        assert!(Hello::read_from(&mut Cursor::new(bad)).is_err());
+    }
+}

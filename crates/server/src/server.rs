@@ -1,0 +1,628 @@
+//! The concurrent cache server.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept loop ──(semaphore permit)──► per-connection reader ─┐
+//!                                      per-connection writer ◄┼── responses
+//!                                                             │
+//!                 shard 0 FIFO queue ◄────────────────────────┤ routed by
+//!                 shard 1 FIFO queue ◄────────────────────────┤ ShardRouter(lba)
+//!                 shard N FIFO queue ◄────────────────────────┘
+//!                        │
+//!                 worker thread i — owns manager stack i exclusively
+//! ```
+//!
+//! * **Connection bounding.** The accept loop takes a semaphore permit
+//!   before servicing a connection; at the cap it blocks, so load beyond
+//!   the bound shows up as connection-queueing delay instead of unbounded
+//!   thread growth.
+//! * **Per-shard routing, per-LBA ordering.** Each request is routed by a
+//!   pure hash of its LBA to exactly one shard queue, and each queue is
+//!   drained by exactly one worker that owns its manager stack. Two
+//!   invariants follow with no data-path locks: operations on the same LBA
+//!   from one connection execute in submission order (mpsc channels are
+//!   FIFO per sender), and an *acknowledged* write is visible to every
+//!   later request on that LBA from any connection (the ack means the
+//!   owning worker already applied it, and that worker serializes the
+//!   LBA's subsequent operations).
+//! * **Batched submission.** A worker drains up to `batch_max` queued
+//!   requests per wakeup and applies them back-to-back against its stack,
+//!   amortizing wakeups under load while adding no latency when idle (the
+//!   first request is taken with a blocking `recv`).
+//! * **Graceful shutdown.** [`Server::shutdown`] stops the accept loop,
+//!   unblocks connection readers, lets every already-enqueued request
+//!   drain through the workers, then runs each stack through
+//!   `barrier_flush` — the durability barrier — before handing the stacks
+//!   back to the caller. No acknowledged operation is lost across a
+//!   graceful stop followed by crash recovery.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use cachemgr::{CacheSystem, FlashTierWb, FlashTierWt, PageBuf, ShardSet};
+use flashtier_core::{ShardRouter, SscDevice};
+use simkit::Duration;
+
+use crate::protocol::{Hello, ReadOutcome, Request, Response, STATUS_ERR, STATUS_OK};
+use crate::semaphore::Semaphore;
+
+/// A cache stack the server can front: any [`CacheSystem`] that can also
+/// run a durability barrier (the shutdown drain) and move across threads.
+pub trait ServeSystem: CacheSystem + Send {
+    /// Synchronously commits all buffered log records (see
+    /// `SscDevice::barrier_flush`).
+    ///
+    /// # Errors
+    ///
+    /// Device faults during the commit.
+    fn barrier_flush(&mut self) -> cachemgr::Result<Duration>;
+}
+
+impl<D: SscDevice + Send> ServeSystem for FlashTierWt<D> {
+    fn barrier_flush(&mut self) -> cachemgr::Result<Duration> {
+        FlashTierWt::barrier_flush(self)
+    }
+}
+
+impl<D: SscDevice + Send> ServeSystem for FlashTierWb<D> {
+    fn barrier_flush(&mut self) -> cachemgr::Result<Duration> {
+        FlashTierWb::barrier_flush(self)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum connections serviced concurrently; further accepts wait.
+    pub max_connections: usize,
+    /// Bounded depth of each shard's request queue (back-pressure).
+    pub queue_depth: usize,
+    /// Maximum requests a worker applies per wakeup.
+    pub batch_max: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 256,
+            queue_depth: 1024,
+            batch_max: 64,
+        }
+    }
+}
+
+/// Shared atomic counters, snapshotted into [`ServerStats`].
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    flushes: AtomicU64,
+    op_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+    batches: AtomicU64,
+    batched_ops: AtomicU64,
+    sim_time_us: AtomicU64,
+}
+
+/// A point-in-time snapshot of server activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted and serviced.
+    pub connections: u64,
+    /// Requests decoded off the wire.
+    pub requests: u64,
+    /// `GET` operations completed.
+    pub gets: u64,
+    /// `PUT` operations completed.
+    pub puts: u64,
+    /// `FLUSH` barriers completed (counted once per barrier).
+    pub flushes: u64,
+    /// Operations that failed server-side (status `ERR` responses).
+    pub op_errors: u64,
+    /// Connections dropped for malformed frames.
+    pub protocol_errors: u64,
+    /// Worker wakeups (each applied one batch).
+    pub batches: u64,
+    /// Requests applied through batches (mean batch = `batched_ops /
+    /// batches`).
+    pub batched_ops: u64,
+    /// Total simulated device time accumulated across all shards, µs.
+    pub sim_time_us: u64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            op_errors: self.op_errors.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            sim_time_us: self.sim_time_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One routed unit of work on a shard queue.
+enum ShardReq {
+    Get {
+        req_id: u64,
+        lba: u64,
+        reply: Sender<Response>,
+    },
+    Put {
+        req_id: u64,
+        lba: u64,
+        data: Vec<u8>,
+        reply: Sender<Response>,
+    },
+    /// One leg of a fanned-out durability barrier; the last shard to
+    /// finish sends the single response.
+    Flush {
+        req_id: u64,
+        remaining: Arc<AtomicUsize>,
+        failed: Arc<AtomicBool>,
+        reply: Sender<Response>,
+    },
+}
+
+/// A running cache server. Dropping the handle without calling
+/// [`Server::shutdown`] aborts the process threads detached — always shut
+/// down explicitly to drain.
+#[derive(Debug)]
+pub struct Server<S: ServeSystem + 'static> {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    senders: Vec<SyncSender<ShardReq>>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<S>>,
+    router: ShardRouter,
+    counters: Arc<Counters>,
+}
+
+/// What a graceful shutdown hands back.
+#[derive(Debug)]
+pub struct ShutdownReport<S> {
+    /// The drained manager stacks, reassembled with their router.
+    pub stacks: ShardSet<S>,
+    /// Final activity counters.
+    pub stats: ServerStats,
+}
+
+impl<S: ServeSystem + 'static> Server<S> {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and one worker per shard. Each worker takes exclusive
+    /// ownership of its stack.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/listen failures.
+    pub fn start<A: ToSocketAddrs>(
+        set: ShardSet<S>,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Server<S>> {
+        assert!(config.max_connections > 0, "need at least one connection");
+        assert!(config.queue_depth > 0, "need a non-empty shard queue");
+        assert!(config.batch_max > 0, "need a non-empty batch");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let (stacks, router) = set.into_shards();
+        let block_size = stacks[0].block_size() as u32;
+        let shards = stacks.len();
+        let counters = Arc::new(Counters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for stack in stacks {
+            let (tx, rx) = mpsc::sync_channel::<ShardReq>(config.queue_depth);
+            senders.push(tx);
+            let counters = Arc::clone(&counters);
+            let batch_max = config.batch_max;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(stack, rx, counters, batch_max)
+            }));
+        }
+
+        let accept = {
+            let senders = senders.clone();
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let sem = Semaphore::new(config.max_connections);
+            std::thread::spawn(move || {
+                accept_loop(
+                    listener, stop, senders, router, block_size, shards, sem, counters,
+                )
+            })
+        };
+
+        Ok(Server {
+            addr: local,
+            stop,
+            senders,
+            accept,
+            workers,
+            router,
+            counters,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router placing LBAs onto shards.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// A live snapshot of the activity counters.
+    pub fn stats(&self) -> ServerStats {
+        self.counters.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, unblock and join every
+    /// connection, drain all queued requests through the workers, run the
+    /// `barrier_flush` durability barrier on every stack, and hand the
+    /// stacks back.
+    pub fn shutdown(self) -> ShutdownReport<S> {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.accept.join().expect("accept thread panicked");
+        // All connections are joined; dropping the last senders lets each
+        // worker drain its queue, flush, and return its stack.
+        drop(self.senders);
+        let stacks: Vec<S> = self
+            .workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect();
+        ShutdownReport {
+            stacks: ShardSet::from_parts(stacks, self.router),
+            stats: self.counters.snapshot(),
+        }
+    }
+}
+
+/// One shard worker: exclusively owns a manager stack, drains its FIFO
+/// queue in batches, and runs the final durability barrier when the last
+/// queue sender disconnects.
+fn worker_loop<S: ServeSystem>(
+    mut stack: S,
+    rx: Receiver<ShardReq>,
+    counters: Arc<Counters>,
+    batch_max: usize,
+) -> S {
+    let mut read_buf = PageBuf::with_capacity(stack.block_size());
+    let mut batch: Vec<ShardReq> = Vec::with_capacity(batch_max);
+    loop {
+        match rx.recv() {
+            Ok(req) => batch.push(req),
+            Err(_) => break, // all senders gone: queue fully drained
+        }
+        while batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .batched_ops
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for req in batch.drain(..) {
+            apply(&mut stack, req, &mut read_buf, &counters);
+        }
+    }
+    // Shutdown drain: everything enqueued has been applied; make it all
+    // crash-durable before releasing the stack.
+    if stack.barrier_flush().is_err() {
+        counters.op_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    stack
+}
+
+/// Applies one request to the worker's stack and sends the response. A
+/// failed operation produces a `STATUS_ERR` response, never a dead worker
+/// — the client sees the error, the shard keeps serving.
+fn apply<S: ServeSystem>(
+    stack: &mut S,
+    req: ShardReq,
+    read_buf: &mut PageBuf,
+    counters: &Counters,
+) {
+    match req {
+        ShardReq::Get { req_id, lba, reply } => {
+            let resp = match stack.read_into(lba, read_buf) {
+                Ok(cost) => {
+                    counters
+                        .sim_time_us
+                        .fetch_add(cost.as_micros(), Ordering::Relaxed);
+                    Response {
+                        req_id,
+                        status: STATUS_OK,
+                        payload: read_buf.to_vec(),
+                    }
+                }
+                Err(_) => {
+                    counters.op_errors.fetch_add(1, Ordering::Relaxed);
+                    Response {
+                        req_id,
+                        status: STATUS_ERR,
+                        payload: Vec::new(),
+                    }
+                }
+            };
+            counters.gets.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(resp);
+        }
+        ShardReq::Put {
+            req_id,
+            lba,
+            data,
+            reply,
+        } => {
+            let resp = match stack.write(lba, &data) {
+                Ok(cost) => {
+                    counters
+                        .sim_time_us
+                        .fetch_add(cost.as_micros(), Ordering::Relaxed);
+                    Response {
+                        req_id,
+                        status: STATUS_OK,
+                        payload: Vec::new(),
+                    }
+                }
+                Err(_) => {
+                    counters.op_errors.fetch_add(1, Ordering::Relaxed);
+                    Response {
+                        req_id,
+                        status: STATUS_ERR,
+                        payload: Vec::new(),
+                    }
+                }
+            };
+            counters.puts.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(resp);
+        }
+        ShardReq::Flush {
+            req_id,
+            remaining,
+            failed,
+            reply,
+        } => {
+            match stack.barrier_flush() {
+                Ok(cost) => {
+                    counters
+                        .sim_time_us
+                        .fetch_add(cost.as_micros(), Ordering::Relaxed);
+                }
+                Err(_) => {
+                    failed.store(true, Ordering::Relaxed);
+                    counters.op_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // The last shard to finish the barrier acknowledges it.
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                counters.flushes.fetch_add(1, Ordering::Relaxed);
+                let status = if failed.load(Ordering::Relaxed) {
+                    STATUS_ERR
+                } else {
+                    STATUS_OK
+                };
+                let _ = reply.send(Response {
+                    req_id,
+                    status,
+                    payload: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    senders: Vec<SyncSender<ShardReq>>,
+    router: ShardRouter,
+    block_size: u32,
+    shards: usize,
+    sem: Arc<Semaphore>,
+    counters: Arc<Counters>,
+) {
+    // Clones of every live connection keyed by id, so shutdown can unblock
+    // readers parked in `read`. Each connection's writer removes its entry
+    // on exit — a lingering clone would hold the fd open (the peer would
+    // never see EOF) and leak descriptors on a long-running server.
+    let registry: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut next_conn_id: u64 = 0;
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        // Bound service concurrency: wait for a permit before spawning the
+        // connection's threads — but keep watching the stop flag so a
+        // shutdown during saturation cannot wedge the accept loop.
+        let permit = loop {
+            if let Some(p) = sem.try_acquire() {
+                break Some(p);
+            }
+            if stop.load(Ordering::SeqCst) {
+                break None;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        let Some(permit) = permit else { continue };
+        counters.connections.fetch_add(1, Ordering::Relaxed);
+        let write_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        registry.lock().expect("stream registry poisoned").insert(
+            conn_id,
+            match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            },
+        );
+        let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+        let hello = Hello {
+            block_size,
+            shards: shards as u32,
+        };
+        let writer_registry = Arc::clone(&registry);
+        conn_threads.push(std::thread::spawn(move || {
+            // The permit rides with the writer: it is the last thread of
+            // the connection to exit (it waits for every queued response).
+            connection_writer(write_stream, reply_rx, hello, permit);
+            // Teardown: push the FIN and drop the registry clone, so the
+            // peer sees EOF as soon as the connection is really done.
+            if let Some(s) = writer_registry
+                .lock()
+                .expect("stream registry poisoned")
+                .remove(&conn_id)
+            {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }));
+        let senders = senders.clone();
+        let counters = Arc::clone(&counters);
+        conn_threads.push(std::thread::spawn(move || {
+            connection_reader(stream, block_size, router, senders, reply_tx, counters);
+        }));
+    }
+    // Graceful stop: sever every connection (readers wake with EOF, their
+    // enqueued work still drains through the workers), then wait for all
+    // connection threads.
+    for s in registry.lock().expect("stream registry poisoned").values() {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+}
+
+/// Decodes frames off one connection and routes them to shard queues in
+/// arrival order. Exits on EOF, I/O error, or the first malformed frame.
+fn connection_reader(
+    stream: TcpStream,
+    block_size: u32,
+    router: ShardRouter,
+    senders: Vec<SyncSender<ShardReq>>,
+    reply_tx: Sender<Response>,
+    counters: Arc<Counters>,
+) {
+    let mut r = BufReader::with_capacity(64 * 1024, stream);
+    loop {
+        match crate::protocol::read_request(&mut r, block_size) {
+            Ok(ReadOutcome::Request(req)) => {
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                let routed = match req {
+                    Request::Get { req_id, lba } => {
+                        senders[router.shard_of(lba)].send(ShardReq::Get {
+                            req_id,
+                            lba,
+                            reply: reply_tx.clone(),
+                        })
+                    }
+                    Request::Put { req_id, lba, data } => {
+                        senders[router.shard_of(lba)].send(ShardReq::Put {
+                            req_id,
+                            lba,
+                            data,
+                            reply: reply_tx.clone(),
+                        })
+                    }
+                    Request::Flush { req_id } => {
+                        let remaining = Arc::new(AtomicUsize::new(senders.len()));
+                        let failed = Arc::new(AtomicBool::new(false));
+                        let mut result = Ok(());
+                        for tx in &senders {
+                            result = result.and(tx.send(ShardReq::Flush {
+                                req_id,
+                                remaining: Arc::clone(&remaining),
+                                failed: Arc::clone(&failed),
+                                reply: reply_tx.clone(),
+                            }));
+                        }
+                        result
+                    }
+                };
+                if routed.is_err() {
+                    // Workers only disappear during shutdown.
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Eof) => return,
+            Ok(ReadOutcome::Malformed(_)) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serializes responses back onto one connection, flushing whenever the
+/// response queue momentarily empties. Exits when every request sender for
+/// this connection is gone and the queue is drained.
+fn connection_writer(
+    stream: TcpStream,
+    reply_rx: Receiver<Response>,
+    hello: Hello,
+    _permit: crate::semaphore::Permit,
+) {
+    let mut w = BufWriter::with_capacity(64 * 1024, stream);
+    let mut broken = hello.write_to(&mut w).is_err() || w.flush().is_err();
+    loop {
+        let resp = match reply_rx.recv() {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        if !broken {
+            broken = resp.write_to(&mut w).is_err();
+        }
+        // Opportunistically coalesce whatever is already queued, then
+        // flush once.
+        loop {
+            match reply_rx.try_recv() {
+                Ok(r) => {
+                    if !broken {
+                        broken = r.write_to(&mut w).is_err();
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if !broken {
+                        let _ = w.flush();
+                    }
+                    return;
+                }
+            }
+        }
+        if !broken {
+            broken = w.flush().is_err();
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Concurrency and shutdown guarantees of the cache server.
+//!
+//! * **Per-LBA read-your-writes** — pipelined `PUT`/`GET` pairs on the
+//!   same LBA from many concurrent clients always observe the immediately
+//!   preceding write, across every shard.
+//! * **Acked-write visibility** — once a `PUT` is acknowledged, every
+//!   later `GET` of that LBA from *any* connection sees it.
+//! * **Shutdown drain** — a graceful stop leaves zero buffered log
+//!   records (the `barrier_flush` drain ran) and no acknowledged write is
+//!   lost across a subsequent crash + recovery.
+//! * **Resilience** — a malformed frame closes one connection without
+//!   affecting others; the connection semaphore really bounds service.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::Duration as StdDuration;
+
+use cachemgr::{FlashTierWb, FlashTierWt, ShardSet};
+use disksim::{Disk, DiskConfig, DiskDataMode};
+use flashtier_core::{shard_config, ShardRouter, Ssc, SscConfig};
+use flashtier_server::{BlockClient, Server, ServerConfig};
+
+const BLOCK: usize = 512;
+
+/// A roomier geometry than `small_test` so a 4-way split leaves usable
+/// shards (mirrors the core shard tests).
+fn wide_config() -> SscConfig {
+    let mut cfg = SscConfig::small_test();
+    let g = cfg.flash.geometry;
+    cfg.flash.geometry = flashsim::Geometry::new(
+        g.planes(),
+        32,
+        g.pages_per_block(),
+        g.page_size(),
+        g.oob_size(),
+    );
+    cfg
+}
+
+fn disk() -> Disk {
+    Disk::new(DiskConfig::small_test(), DiskDataMode::Store)
+}
+
+fn wt_set(shards: usize) -> ShardSet<FlashTierWt> {
+    let config = wide_config();
+    let per_shard = shard_config(&config, shards);
+    let ppb = config.flash.geometry.pages_per_block();
+    ShardSet::from_parts(
+        (0..shards)
+            .map(|_| FlashTierWt::new(Ssc::new(per_shard), disk()))
+            .collect(),
+        ShardRouter::new(shards, ppb),
+    )
+}
+
+fn wb_set(shards: usize) -> ShardSet<FlashTierWb> {
+    let config = wide_config();
+    let per_shard = shard_config(&config, shards);
+    let ppb = config.flash.geometry.pages_per_block();
+    ShardSet::from_parts(
+        (0..shards)
+            .map(|_| FlashTierWb::new(Ssc::new(per_shard), disk()))
+            .collect(),
+        ShardRouter::new(shards, ppb),
+    )
+}
+
+/// Distinct, verifiable block content per (client, lba, round).
+fn payload(client: u64, lba: u64, round: u64) -> Vec<u8> {
+    let tag = (client
+        .wrapping_mul(31)
+        .wrapping_add(lba)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(round)) as u8;
+    let mut data = vec![tag; BLOCK];
+    data[..8].copy_from_slice(&lba.to_le_bytes());
+    data[8..16].copy_from_slice(&round.to_le_bytes());
+    data
+}
+
+#[test]
+fn pipelined_per_lba_read_your_writes_across_clients() {
+    const CLIENTS: u64 = 8;
+    const LBAS_PER_CLIENT: u64 = 8;
+    const ROUNDS: u64 = 25;
+    let server = Server::start(wt_set(4), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let client = BlockClient::connect(addr).unwrap();
+                assert_eq!(client.block_size(), BLOCK);
+                let (mut tx, mut rx) = client.into_split();
+                // Fully pipelined PUT/GET pairs: the GET for round r is
+                // sent before any response is read, so correctness rests
+                // on the server's per-LBA FIFO, not on client pacing.
+                // expectations[i] = Some((lba, round)) for GET req ids.
+                let mut expectations: Vec<Option<(u64, u64)>> = Vec::new();
+                for round in 0..ROUNDS {
+                    for k in 0..LBAS_PER_CLIENT {
+                        // Disjoint per-client LBAs, interleaved so
+                        // neighbouring clients share shards.
+                        let lba = c + CLIENTS * k;
+                        let put_id = tx.send_put(lba, &payload(c, lba, round)).unwrap();
+                        assert_eq!(put_id as usize, expectations.len());
+                        expectations.push(None);
+                        let get_id = tx.send_get(lba).unwrap();
+                        assert_eq!(get_id as usize, expectations.len());
+                        expectations.push(Some((lba, round)));
+                    }
+                }
+                tx.flush_io().unwrap();
+                for _ in 0..expectations.len() {
+                    let resp = rx.recv().unwrap();
+                    assert!(resp.ok(), "op {} failed", resp.req_id);
+                    if let Some((lba, round)) = expectations[resp.req_id as usize] {
+                        assert_eq!(
+                            resp.payload,
+                            payload(c, lba, round),
+                            "client {c}: GET of lba {lba} after round-{round} PUT \
+                             returned wrong data"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.stats.protocol_errors, 0);
+    assert_eq!(report.stats.op_errors, 0);
+    assert_eq!(
+        report.stats.requests,
+        CLIENTS * LBAS_PER_CLIENT * ROUNDS * 2
+    );
+}
+
+#[test]
+fn acked_write_is_visible_to_other_connections() {
+    let server = Server::start(wt_set(2), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut writer = BlockClient::connect(server.addr()).unwrap();
+    let mut reader = BlockClient::connect(server.addr()).unwrap();
+    for lba in 0..24u64 {
+        let data = payload(0xA, lba, 7);
+        assert!(writer.put(lba, &data).unwrap().ok());
+        // The ack means the owning shard worker applied the write; a GET
+        // from a different connection must now observe it.
+        let resp = reader.get(lba).unwrap();
+        assert!(resp.ok());
+        assert_eq!(resp.payload, data, "lba {lba} stale after acked write");
+    }
+    drop(writer);
+    drop(reader);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_no_acked_write_is_lost() {
+    const PUTS: u64 = 40;
+    const FILL_GETS: u64 = 32;
+    let server = Server::start(wb_set(4), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = BlockClient::connect(server.addr()).unwrap();
+    // Acked dirty writes (write-back: the cache holds the only copy)...
+    for lba in 0..PUTS {
+        assert!(client.put(lba, &payload(1, lba, 0)).unwrap().ok());
+    }
+    // ...plus reads of never-written blocks, which fill clean and sit in
+    // the group-commit buffer until a barrier — exactly what the shutdown
+    // drain must harden.
+    for lba in 1000..1000 + FILL_GETS {
+        assert!(client.get(lba).unwrap().ok());
+    }
+    drop(client);
+
+    let report = server.shutdown();
+    assert_eq!(report.stats.puts, PUTS);
+    assert_eq!(report.stats.op_errors, 0);
+    let (mut stacks, router) = report.stacks.into_shards();
+
+    // The drain ran barrier_flush on every shard: a crash immediately
+    // after the graceful stop finds nothing buffered...
+    for (i, stack) in stacks.iter_mut().enumerate() {
+        let lost = stack.ssc_mut().crash();
+        assert_eq!(lost, 0, "shard {i}: graceful stop left buffered records");
+        stack.crash_and_recover().unwrap();
+        // Recovery sanity: only acked PUT LBAs are dirty.
+        let (dirty, _) = stack.ssc_mut().exists(0, u64::MAX);
+        for lba in dirty {
+            assert!(lba < PUTS, "unexpected dirty lba {lba}");
+        }
+    }
+    // ...and every acknowledged write survives into the recovered stacks.
+    for lba in 0..PUTS {
+        let stack = &mut stacks[router.shard_of(lba)];
+        let (data, _) = cachemgr::CacheSystem::read(stack, lba).unwrap();
+        assert_eq!(data, payload(1, lba, 0), "acked write to lba {lba} lost");
+    }
+}
+
+#[test]
+fn flush_barrier_spans_all_shards() {
+    let server = Server::start(wb_set(4), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = BlockClient::connect(server.addr()).unwrap();
+    for lba in 0..16u64 {
+        assert!(client.put(lba, &payload(2, lba, 0)).unwrap().ok());
+    }
+    // Clean fills across shards put records in several group-commit
+    // buffers; one FLUSH must drain them all.
+    for lba in 500..540u64 {
+        assert!(client.get(lba).unwrap().ok());
+    }
+    assert!(client.flush().unwrap().ok());
+    drop(client);
+    let report = server.shutdown();
+    assert_eq!(report.stats.flushes, 1, "barrier acked exactly once");
+    let (mut stacks, _) = report.stacks.into_shards();
+    for (i, stack) in stacks.iter_mut().enumerate() {
+        assert_eq!(
+            stack.ssc_mut().crash(),
+            0,
+            "shard {i} still buffered after FLUSH + drain"
+        );
+    }
+}
+
+#[test]
+fn malformed_frame_closes_one_connection_only() {
+    let server = Server::start(wt_set(2), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut healthy = BlockClient::connect(server.addr()).unwrap();
+    assert!(healthy.put(3, &payload(3, 3, 0)).unwrap().ok());
+
+    // A raw connection that speaks garbage after the hello.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    let mut hello = [0u8; 12];
+    raw.read_exact(&mut hello).unwrap();
+    std::io::Write::write_all(&mut raw, &[0xFF; 21]).unwrap();
+    raw.set_read_timeout(Some(StdDuration::from_secs(10)))
+        .unwrap();
+    let mut probe = [0u8; 1];
+    // The server closes the poisoned connection (clean EOF).
+    assert_eq!(raw.read(&mut probe).unwrap(), 0);
+
+    // The healthy connection is unaffected, and new connections work.
+    let resp = healthy.get(3).unwrap();
+    assert!(resp.ok());
+    assert_eq!(resp.payload, payload(3, 3, 0));
+    let mut fresh = BlockClient::connect(server.addr()).unwrap();
+    assert!(fresh.get(3).unwrap().ok());
+    drop(healthy);
+    drop(fresh);
+    let report = server.shutdown();
+    assert_eq!(report.stats.protocol_errors, 1);
+}
+
+#[test]
+fn semaphore_bounds_serviced_connections() {
+    let config = ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(wt_set(1), "127.0.0.1:0", config).unwrap();
+    // The hello is written only after the connection holds a permit, so
+    // hello receipt == admission.
+    let c1 = BlockClient::connect(server.addr()).unwrap();
+    let c2 = BlockClient::connect(server.addr()).unwrap();
+    let mut third = TcpStream::connect(server.addr()).unwrap();
+    third
+        .set_read_timeout(Some(StdDuration::from_millis(300)))
+        .unwrap();
+    let mut hello = [0u8; 12];
+    let err = third.read_exact(&mut hello).unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "third connection must wait for a permit, got {err:?}"
+    );
+    // Releasing a permit admits the waiter.
+    drop(c1);
+    third
+        .set_read_timeout(Some(StdDuration::from_secs(30)))
+        .unwrap();
+    third.read_exact(&mut hello).unwrap();
+    assert_eq!(&hello[..2], b"FT");
+    drop(c2);
+    drop(third);
+    server.shutdown();
+}

@@ -31,6 +31,17 @@ const WARM_OPS: u64 = 30;
 const FUZZ_OPS: u64 = 600;
 const POST_OPS: u64 = 60;
 
+/// Campaign-count multiplier from `FLASHTIER_FUZZ_SCALE` (default 1).
+/// The scheduled deep-CI job sets it to 3 to run longer campaigns than
+/// the per-PR gate can afford; any positive integer works locally.
+fn fuzz_scale() -> u64 {
+    std::env::var("FLASHTIER_FUZZ_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
 fn lcg(state: &mut u64) -> u64 {
     *state = state
         .wrapping_mul(6364136223846793005)
@@ -260,7 +271,7 @@ fn flashtier_wt_survives_crashes_at_every_site() {
         |s: &mut FlashTierWt, site, after| s.ssc_mut().arm_crash(site, after),
         |s: &mut FlashTierWt| s.ssc_mut().disarm_crash(),
         &sites,
-        15,
+        15 * fuzz_scale(),
     );
 }
 
@@ -278,13 +289,13 @@ fn flashtier_wb_survives_crashes_at_every_site() {
         |s: &mut FlashTierWb, site, after| s.ssc_mut().arm_crash(site, after),
         |s: &mut FlashTierWb| s.ssc_mut().disarm_crash(),
         &sites,
-        12,
+        12 * fuzz_scale(),
     );
 }
 
 #[test]
 fn native_wb_survives_crashes_at_operation_boundaries() {
-    for seed in 0..60u64 {
+    for seed in 0..60u64 * fuzz_scale() {
         let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let ssd = HybridFtl::new(SsdConfig::small_test(), DataMode::Store);
         let mut system = NativeCache::new(
@@ -343,7 +354,7 @@ fn sharded_flashtier_wt_survives_single_shard_crashes() {
         },
         |s: &mut FlashTierWt<ShardedSsc>| s.ssc_mut().disarm_crash(),
         &sites,
-        15,
+        15 * fuzz_scale(),
     );
 }
 
@@ -367,6 +378,6 @@ fn sharded_flashtier_wb_survives_single_shard_crashes() {
         },
         |s: &mut FlashTierWb<ShardedSsc>| s.ssc_mut().disarm_crash(),
         &sites,
-        12,
+        12 * fuzz_scale(),
     );
 }
