@@ -19,6 +19,12 @@
 //! * `--seed S` — workload PRNG seed (default the committed gate seed)
 //! * `--faults PPM` — deterministic media-fault injection; adds a
 //!   `faults` object to the JSON
+//! * `--net-faults PPM` — deterministic *network*-fault torture mode:
+//!   retrying clients, seeded resets/partial writes/stalls/delays on both
+//!   sides of the wire, and shadow-model verification of every acked
+//!   write after crash + recovery; adds a `net_faults` object to the
+//!   JSON (CI gates on `lost_acked_writes == 0`). `0` (the default) is
+//!   the clean path and leaves the output format unchanged.
 //!
 //! Latency in open-loop mode is completion − *scheduled* arrival
 //! (coordinated-omission-free); in closed-loop mode it is round-trip from
@@ -39,6 +45,7 @@ const FLAGS: &[&str] = &[
     "--mode",
     "--seed",
     "--faults",
+    "--net-faults",
 ];
 
 fn main() {
@@ -98,6 +105,12 @@ fn main() {
     {
         replay = replay.with_faults(ppm);
     }
+    let net_fault_ppm: u32 = args
+        .get_or("--net-faults", 0)
+        .unwrap_or_else(|e| usage_error(&e));
+    if net_fault_ppm > 1_000_000 {
+        usage_error("--net-faults is parts-per-million; at most 1000000");
+    }
     let spec = ServeSpec {
         replay,
         conns,
@@ -106,6 +119,7 @@ fn main() {
         shards,
         mode,
         window,
+        net_fault_ppm,
     };
     let out = run_serve(&spec);
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -158,6 +172,33 @@ fn main() {
             f.read_fault_fallbacks,
             f.destage_fault_invalidations,
             f.lost_dirty_reads
+        ));
+    }
+    if let Some(n) = &out.net {
+        json.push_str(&format!(
+            ",\"net_faults\":{{\"ppm\":{},\"server_injected\":{},\
+             \"client_injected\":{},\"connects\":{},\"retries\":{},\
+             \"busy_retries\":{},\"deadline_failures\":{},\
+             \"failed_calls\":{},\"max_call_us\":{},\
+             \"busy_rejects\":{},\"shed_expired\":{},\"deduped_puts\":{},\
+             \"idle_evictions\":{},\"shards_quarantined\":{},\
+             \"acked_writes_checked\":{},\"lost_acked_writes\":{}}}",
+            n.ppm,
+            out.server.net_faults_injected,
+            n.client_injected,
+            n.connects,
+            n.retries,
+            n.busy_retries,
+            n.deadline_failures,
+            n.failed_calls,
+            n.max_call_us,
+            out.server.busy_rejects,
+            out.server.shed_expired,
+            out.server.deduped_puts,
+            out.server.idle_evictions,
+            out.server.shards_quarantined,
+            n.acked_writes_checked,
+            n.lost_acked_writes
         ));
     }
     json.push('}');

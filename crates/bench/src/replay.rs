@@ -40,6 +40,10 @@ pub struct ReplaySetup {
     /// Base media-fault rate in parts-per-million (0 = faults off; the
     /// off path is byte-identical to a build without fault support).
     pub fault_ppm: u32,
+    /// Retain payload bytes in the cache and disk tiers (`Store` data
+    /// modes) so an end-to-end harness can verify content after the run.
+    /// Off by default: the perf gates measure the `Discard` fast path.
+    pub stored: bool,
 }
 
 impl ReplaySetup {
@@ -54,6 +58,7 @@ impl ReplaySetup {
             flash_bytes: 64 << 20,
             seed: 0xBEAC_0001,
             fault_ppm: 0,
+            stored: false,
         }
     }
 
@@ -68,6 +73,7 @@ impl ReplaySetup {
             flash_bytes: 16 << 20,
             seed: 0xBEAC_0002,
             fault_ppm: 0,
+            stored: false,
         }
     }
 
@@ -82,6 +88,22 @@ impl ReplaySetup {
     pub fn with_faults(mut self, ppm: u32) -> Self {
         self.fault_ppm = ppm;
         self
+    }
+
+    /// Switches every tier to `Store` data mode so payloads survive to be
+    /// verified (the serve gate's network-fault mode checks acked writes
+    /// back against a shadow model after crash + recovery).
+    pub fn with_stored_data(mut self) -> Self {
+        self.stored = true;
+        self
+    }
+
+    fn data_mode(&self) -> DataMode {
+        if self.stored {
+            DataMode::Store
+        } else {
+            DataMode::Discard
+        }
     }
 
     /// The seeded fault plan for this setup, or `None` when faults are
@@ -130,7 +152,11 @@ impl ReplaySetup {
                 capacity_blocks: self.range_blocks,
                 ..DiskConfig::paper_default()
             },
-            DiskDataMode::Discard,
+            if self.stored {
+                DiskDataMode::Store
+            } else {
+                DiskDataMode::Discard
+            },
         )
     }
 
@@ -138,7 +164,7 @@ impl ReplaySetup {
     /// durable maps).
     pub fn wt_config(&self) -> SscConfig {
         SscConfig::ssc(self.flash())
-            .with_data_mode(DataMode::Discard)
+            .with_data_mode(self.data_mode())
             .with_consistency(ConsistencyMode::CleanAndDirty)
     }
 
@@ -146,7 +172,7 @@ impl ReplaySetup {
     /// maps).
     pub fn wb_config(&self) -> SscConfig {
         SscConfig::ssc_r(self.flash())
-            .with_data_mode(DataMode::Discard)
+            .with_data_mode(self.data_mode())
             .with_consistency(ConsistencyMode::DirtyOnly)
     }
 

@@ -136,6 +136,72 @@ fn serve_rejects_unparsable_ops() {
 }
 
 #[test]
+fn serve_rejects_bad_net_faults() {
+    assert_usage_error(
+        &run(SERVE, &["--net-faults", "some"]),
+        "invalid value for --net-faults",
+    );
+    assert_usage_error(
+        &run(SERVE, &["--net-faults", "2000000"]),
+        "--net-faults is parts-per-million",
+    );
+}
+
+#[test]
+fn serve_net_faults_zero_is_the_clean_path() {
+    // `--net-faults 0` must not change the report format: no `net_faults`
+    // object, same keys as a run without the flag.
+    let out = run(
+        SERVE,
+        &[
+            "--ops",
+            "300",
+            "--conns",
+            "2",
+            "--shards",
+            "2",
+            "--window",
+            "8",
+            "--net-faults",
+            "0",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("net_faults"), "{stdout}");
+    assert!(stdout.contains("\"completed\":300"), "{stdout}");
+}
+
+#[test]
+fn serve_net_faults_torture_reports_and_loses_nothing() {
+    let out = run(
+        SERVE,
+        &[
+            "--ops",
+            "600",
+            "--conns",
+            "2",
+            "--shards",
+            "2",
+            "--net-faults",
+            "20000",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"net_faults\":{\"ppm\":20000"), "{stdout}");
+    assert!(stdout.contains("\"lost_acked_writes\":0"), "{stdout}");
+}
+
+#[test]
 fn serve_smoke_produces_json() {
     let out = run(
         SERVE,

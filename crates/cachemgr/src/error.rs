@@ -16,6 +16,22 @@ pub enum CmError {
     Disk(disksim::DiskError),
 }
 
+impl CmError {
+    /// Whether the failed stack can keep serving requests.
+    ///
+    /// Most errors are per-operation: a flash fault on one read, an LBA
+    /// out of range. The stack stays fully operational and the *next*
+    /// request is unaffected. `Ssc(PowerLoss)` is different — it means the
+    /// device's armed crash fired (or real power-loss semantics were
+    /// triggered): the in-memory state is gone and nothing succeeds until
+    /// crash recovery runs. A server fronting the stack must stop routing
+    /// to it (quarantine) rather than burn every queued request on the
+    /// same dead device.
+    pub fn is_unrecoverable(&self) -> bool {
+        matches!(self, CmError::Ssc(flashtier_core::SscError::PowerLoss))
+    }
+}
+
 impl fmt::Display for CmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -49,6 +65,15 @@ impl From<disksim::DiskError> for CmError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn only_power_loss_is_unrecoverable() {
+        assert!(CmError::Ssc(flashtier_core::SscError::PowerLoss).is_unrecoverable());
+        assert!(!CmError::Ssc(flashtier_core::SscError::NotPresent(3)).is_unrecoverable());
+        assert!(!CmError::Ssc(flashtier_core::SscError::OutOfSpace).is_unrecoverable());
+        assert!(!CmError::Ssd(ftl::FtlError::OutOfSpace).is_unrecoverable());
+        assert!(!CmError::Disk(disksim::DiskError::LbaOutOfRange(9)).is_unrecoverable());
+    }
 
     #[test]
     fn conversions_and_display() {

@@ -9,8 +9,15 @@
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration as StdDuration;
 
 use crate::protocol::{Hello, Request, Response};
+
+/// Default socket read/write timeout for [`BlockClient::connect`]: long
+/// enough for any healthy round trip (including a whole-device `FLUSH`
+/// barrier), short enough that a dead server cannot hang the client
+/// forever.
+pub const DEFAULT_IO_TIMEOUT: StdDuration = StdDuration::from_secs(30);
 
 /// A synchronous protocol client.
 #[derive(Debug)]
@@ -21,14 +28,32 @@ pub struct BlockClient {
 }
 
 impl BlockClient {
-    /// Connects and reads the server hello.
+    /// Connects and reads the server hello, with
+    /// [`DEFAULT_IO_TIMEOUT`] on both socket directions — the hello read
+    /// included — so no path can block forever on a stalled server.
     ///
     /// # Errors
     ///
     /// Connection failure or a malformed hello.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<BlockClient> {
+        Self::connect_configured(addr, Some(DEFAULT_IO_TIMEOUT), Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// [`BlockClient::connect`] with explicit socket timeouts (`None`
+    /// blocks forever, the pre-hardening behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Connection failure or a malformed hello.
+    pub fn connect_configured<A: ToSocketAddrs>(
+        addr: A,
+        read_timeout: Option<StdDuration>,
+        write_timeout: Option<StdDuration>,
+    ) -> io::Result<BlockClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(read_timeout)?;
+        stream.set_write_timeout(write_timeout)?;
         let write_stream = stream.try_clone()?;
         let mut reader = BufReader::with_capacity(64 * 1024, stream);
         let hello = Hello::read_from(&mut reader)?;

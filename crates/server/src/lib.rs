@@ -28,11 +28,19 @@
 //! against this server.
 
 pub mod client;
+pub mod netfault;
 pub mod protocol;
+pub mod retry;
 pub mod semaphore;
 pub mod server;
 
 pub use client::{BlockClient, RecvHalf, SendHalf};
-pub use protocol::{Hello, Request, Response, STATUS_ERR, STATUS_OK};
+pub use netfault::{FaultyTransport, NetFaultCounters, NetFaultPlan};
+pub use protocol::{
+    Hello, Request, Response, STATUS_BUSY, STATUS_ERR, STATUS_OK, STATUS_SHARD_FAILED,
+};
+pub use retry::{RetryConfig, RetryStats, RetryingClient};
 pub use semaphore::{Permit, Semaphore};
-pub use server::{ServeSystem, Server, ServerConfig, ServerStats, ShutdownReport};
+pub use server::{
+    ServeSystem, Server, ServerConfig, ServerStats, ShardHealthStatus, ShutdownReport,
+};

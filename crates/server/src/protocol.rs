@@ -16,8 +16,21 @@
 //! complete requests out of order across LBAs, but never reorders two
 //! operations on the same LBA.
 //!
+//! A fourth, optional frame — `SESSION` — declares a client identity that
+//! survives reconnects. A client that intends to *retry* requests across
+//! connection failures sends it once, before its first request; the server
+//! then deduplicates retried `PUT`s by `(session token, req_id)`, so a
+//! write whose acknowledgement was lost in transit is applied at most once
+//! even when the client resends it on a fresh connection. The frame gets
+//! no response (it is a declaration, not an operation), and clients that
+//! never retry never need to send it.
+//!
 //! Framing errors are unrecoverable for the connection (the byte stream
 //! has lost sync); the server counts them and closes the connection.
+//! `STATUS_BUSY` and `STATUS_SHARD_FAILED` are *per-request* failure
+//! signals layered above framing: `BUSY` means the request was shed under
+//! overload and is safe to retry; `SHARD_FAILED` means the shard owning
+//! the LBA is quarantined and retrying cannot help.
 
 use std::io::{self, Read, Write};
 
@@ -32,12 +45,21 @@ pub const OP_GET: u8 = 1;
 pub const OP_PUT: u8 = 2;
 /// Opcode for a whole-device durability barrier.
 pub const OP_FLUSH: u8 = 3;
+/// Opcode declaring a retry-stable client identity (no response frame).
+pub const OP_SESSION: u8 = 4;
 
 /// Response status: success.
 pub const STATUS_OK: u8 = 0;
 /// Response status: the operation failed server-side (device fault, LBA
 /// out of range). The connection stays usable.
 pub const STATUS_ERR: u8 = 1;
+/// Response status: the request was shed under overload (shard queue full
+/// or its queueing deadline expired) *without* being applied. Retryable.
+pub const STATUS_BUSY: u8 = 2;
+/// Response status: the shard owning this LBA is quarantined (its worker
+/// panicked or its stack reported an unrecoverable fault). The request was
+/// not applied and retrying cannot succeed until the server restarts.
+pub const STATUS_SHARD_FAILED: u8 = 3;
 
 /// Hard upper bound on any frame payload, guarding the server against a
 /// hostile or corrupt length field.
@@ -111,15 +133,23 @@ pub enum Request {
         /// Client-chosen id echoed in the response.
         req_id: u64,
     },
+    /// Retry-stable client identity declaration (carried in the `lba`
+    /// field on the wire; no response).
+    Session {
+        /// Client-chosen token, stable across reconnects.
+        token: u64,
+    },
 }
 
 impl Request {
-    /// The client-chosen request id.
+    /// The client-chosen request id (`0` for the un-acknowledged
+    /// `Session` frame).
     pub fn req_id(&self) -> u64 {
         match self {
             Request::Get { req_id, .. }
             | Request::Put { req_id, .. }
             | Request::Flush { req_id } => *req_id,
+            Request::Session { .. } => 0,
         }
     }
 
@@ -129,6 +159,7 @@ impl Request {
             Request::Get { req_id, lba } => (OP_GET, *req_id, *lba, &[]),
             Request::Put { req_id, lba, data } => (OP_PUT, *req_id, *lba, data),
             Request::Flush { req_id } => (OP_FLUSH, *req_id, 0, &[]),
+            Request::Session { token } => (OP_SESSION, 0, *token, &[]),
         };
         let mut header = [0u8; 21];
         header[0] = op;
@@ -182,16 +213,16 @@ pub fn read_request<R: Read>(r: &mut R, block_size: u32) -> io::Result<ReadOutco
     let lba = u64::from_le_bytes(header[9..17].try_into().unwrap());
     let len = u32::from_le_bytes(header[17..21].try_into().unwrap());
     match op {
-        OP_GET | OP_FLUSH => {
+        OP_GET | OP_FLUSH | OP_SESSION => {
             if len != 0 {
                 return Ok(ReadOutcome::Malformed(format!(
                     "op {op} carries an unexpected {len}-byte payload"
                 )));
             }
-            Ok(ReadOutcome::Request(if op == OP_GET {
-                Request::Get { req_id, lba }
-            } else {
-                Request::Flush { req_id }
+            Ok(ReadOutcome::Request(match op {
+                OP_GET => Request::Get { req_id, lba },
+                OP_FLUSH => Request::Flush { req_id },
+                _ => Request::Session { token: lba },
             }))
         }
         OP_PUT => {
@@ -223,6 +254,16 @@ impl Response {
     /// Whether the operation succeeded.
     pub fn ok(&self) -> bool {
         self.status == STATUS_OK
+    }
+
+    /// Whether the request was shed under overload and is safe to retry.
+    pub fn busy(&self) -> bool {
+        self.status == STATUS_BUSY
+    }
+
+    /// Whether the owning shard is quarantined (retrying cannot help).
+    pub fn shard_failed(&self) -> bool {
+        self.status == STATUS_SHARD_FAILED
     }
 
     /// Serializes the response frame.
@@ -288,6 +329,32 @@ mod tests {
             data: vec![0xAB; 512],
         });
         round_trip(Request::Flush { req_id: 0 });
+        round_trip(Request::Session { token: 0xDEAD_BEEF });
+    }
+
+    #[test]
+    fn session_frame_with_payload_is_malformed() {
+        let mut buf = [0u8; 22];
+        buf[0] = OP_SESSION;
+        buf[17..21].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            read_request(&mut Cursor::new(buf), 512).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn status_helpers_are_disjoint() {
+        let mk = |status| Response {
+            req_id: 1,
+            status,
+            payload: Vec::new(),
+        };
+        assert!(mk(STATUS_OK).ok());
+        assert!(!mk(STATUS_OK).busy() && !mk(STATUS_OK).shard_failed());
+        assert!(mk(STATUS_BUSY).busy() && !mk(STATUS_BUSY).ok());
+        assert!(mk(STATUS_SHARD_FAILED).shard_failed());
+        assert!(!mk(STATUS_ERR).ok() && !mk(STATUS_ERR).busy());
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! A fault-tolerant protocol client: deadlines, reconnect, seeded-jitter
+//! exponential backoff, and idempotent resend.
+//!
+//! [`RetryingClient`] wraps the block protocol with the client half of the
+//! serve-path failure model (DESIGN.md §12):
+//!
+//! * **Every call has a deadline.** `get`/`put`/`flush` either return a
+//!   response or fail with `TimedOut` within `op_deadline` — socket
+//!   timeouts are re-armed before every attempt to `min(io_timeout,
+//!   remaining)`, so no attempt can sleep past the budget.
+//! * **Connection failures are survived, not surfaced.** Any transport
+//!   error tears the connection down and the call retries on a fresh one
+//!   after seeded-jitter exponential backoff. Request ids keep counting
+//!   across reconnects, which is what makes resends *identifiable*.
+//! * **Retried PUTs are applied at most once.** The client declares a
+//!   session token on every connection (a `SESSION` frame precedes the
+//!   first request); the server remembers which `(token, req_id)` PUTs it
+//!   applied, so a resent PUT whose ack was lost is re-acked, not
+//!   re-applied. GET and FLUSH are naturally idempotent.
+//! * **`BUSY` means "not applied, try later"** — the client backs off and
+//!   resends on the same connection. `SHARD_FAILED` and `ERR` are final
+//!   answers, returned to the caller.
+//!
+//! One request is outstanding at a time, so responses pair with requests
+//! positionally; a response carrying the wrong id means the stream lost
+//! sync and is treated as a transport error. The client can inject its own
+//! deterministic network faults ([`NetFaultPlan`]) for torture tests —
+//! every reconnect decorrelates the fault seed, so a deterministic reset
+//! at operation 0 cannot livelock the retry loop.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration as StdDuration, Instant};
+
+use crate::netfault::{FaultyTransport, NetFaultCounters, NetFaultPlan};
+use crate::protocol::{Hello, Request, Response, STATUS_BUSY};
+
+/// Retry/timeout policy for a [`RetryingClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryConfig {
+    /// Seed for backoff jitter (and nothing else) — runs with the same
+    /// seed draw the same jitter sequence.
+    pub seed: u64,
+    /// Total per-call budget, connect and retries included.
+    pub op_deadline: StdDuration,
+    /// TCP connect timeout per attempt (further capped by the remaining
+    /// op budget).
+    pub connect_timeout: StdDuration,
+    /// Socket read/write timeout per attempt (further capped by the
+    /// remaining op budget).
+    pub io_timeout: StdDuration,
+    /// First backoff step; doubles per consecutive failure.
+    pub backoff_base: StdDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: StdDuration,
+    /// Hard cap on attempts per call (a backstop behind the deadline).
+    pub max_attempts: u32,
+    /// Client-side deterministic fault injection; `None` is the clean
+    /// path.
+    pub net_faults: Option<NetFaultPlan>,
+}
+
+impl RetryConfig {
+    /// A policy for tests and torture runs against a local server: tight
+    /// enough to converge fast, generous enough to ride out injected
+    /// fault bursts.
+    pub fn default_for(seed: u64) -> Self {
+        RetryConfig {
+            seed,
+            op_deadline: StdDuration::from_secs(10),
+            connect_timeout: StdDuration::from_secs(2),
+            io_timeout: StdDuration::from_secs(2),
+            backoff_base: StdDuration::from_millis(2),
+            backoff_cap: StdDuration::from_millis(200),
+            max_attempts: 64,
+            net_faults: None,
+        }
+    }
+}
+
+/// What the retry machinery did on behalf of the caller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Successful connections established (1 for a fault-free life).
+    pub connects: u64,
+    /// Requests resent after a transport error.
+    pub retries: u64,
+    /// Requests resent after a `BUSY` (shed) response.
+    pub busy_retries: u64,
+    /// Calls that exhausted their deadline or attempt budget.
+    pub deadline_failures: u64,
+    /// Client-side injected faults, summed over all connections.
+    pub net_faults: NetFaultCounters,
+}
+
+/// One live connection (split halves over independently faulted clones).
+#[derive(Debug)]
+struct Conn {
+    r: BufReader<FaultyTransport>,
+    w: BufWriter<FaultyTransport>,
+}
+
+/// A protocol client that retries through connection failures and
+/// overload, with per-call deadlines and at-most-once PUT semantics.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: SocketAddr,
+    cfg: RetryConfig,
+    /// Session token declared on every connection (the dedup key).
+    session: u64,
+    /// Monotone across reconnects — a resent request keeps its id.
+    next_id: u64,
+    block_size: usize,
+    conn: Option<Conn>,
+    /// Connection attempts started (salts per-connection fault seeds, so
+    /// failed attempts also decorrelate).
+    conn_epoch: u64,
+    /// Jitter draws so far.
+    jitter_draws: u64,
+    stats: RetryStats,
+}
+
+/// Time left before `deadline`, as a `TimedOut` error once spent. The
+/// floor of 1 ms keeps the value usable as a socket timeout (zero means
+/// "no timeout" to the socket API, the opposite of what a spent budget
+/// wants).
+fn remaining_budget(deadline: Instant) -> io::Result<StdDuration> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "op deadline exceeded",
+        ));
+    }
+    Ok(remaining.max(StdDuration::from_millis(1)))
+}
+
+/// SplitMix64 finalizer (same as `netfault::mix`, private there).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryingClient {
+    /// Connects (retrying within one `op_deadline`) and declares
+    /// `session` as this client's retry-stable identity. Tokens must be
+    /// unique per logical client or dedup histories collide.
+    ///
+    /// # Errors
+    ///
+    /// No connection could be established within the deadline.
+    pub fn connect(addr: SocketAddr, session: u64, cfg: RetryConfig) -> io::Result<RetryingClient> {
+        let mut client = RetryingClient {
+            addr,
+            cfg,
+            session,
+            next_id: 0,
+            block_size: 0,
+            conn: None,
+            conn_epoch: 0,
+            jitter_draws: 0,
+            stats: RetryStats::default(),
+        };
+        let deadline = Instant::now() + cfg.op_deadline;
+        let mut attempt = 0u32;
+        loop {
+            match client.ensure_conn(deadline) {
+                Ok(()) => return Ok(client),
+                Err(e) => {
+                    attempt += 1;
+                    client.backoff_or_give_up(attempt, deadline, &e)?;
+                }
+            }
+        }
+    }
+
+    /// Device block size from the server hello.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Retry activity so far (live connection's fault counters included).
+    pub fn stats(&self) -> RetryStats {
+        let mut s = self.stats;
+        if let Some(conn) = &self.conn {
+            s.net_faults = s
+                .net_faults
+                .merged(&conn.r.get_ref().counters())
+                .merged(&conn.w.get_ref().counters());
+        }
+        s
+    }
+
+    /// Reads one block. Status `BUSY` is absorbed by retry; any other
+    /// status is returned.
+    ///
+    /// # Errors
+    ///
+    /// Deadline or attempt budget exhausted.
+    pub fn get(&mut self, lba: u64) -> io::Result<Response> {
+        let req_id = self.take_id();
+        self.call(Request::Get { req_id, lba })
+    }
+
+    /// Writes one block, applied at most once however many times the
+    /// transport makes us resend it.
+    ///
+    /// # Errors
+    ///
+    /// A payload that is not exactly one block, or deadline/attempt
+    /// budget exhausted.
+    pub fn put(&mut self, lba: u64, data: &[u8]) -> io::Result<Response> {
+        if data.len() != self.block_size {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "payload is {} B, device block is {} B",
+                    data.len(),
+                    self.block_size
+                ),
+            ));
+        }
+        let req_id = self.take_id();
+        self.call(Request::Put {
+            req_id,
+            lba,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Runs a whole-device durability barrier (idempotent, so freely
+    /// retried).
+    ///
+    /// # Errors
+    ///
+    /// Deadline or attempt budget exhausted.
+    pub fn flush(&mut self) -> io::Result<Response> {
+        let req_id = self.take_id();
+        self.call(Request::Flush { req_id })
+    }
+
+    fn take_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// The retry loop: attempt, classify, back off, resend — until a
+    /// final response or the deadline.
+    fn call(&mut self, req: Request) -> io::Result<Response> {
+        let deadline = Instant::now() + self.cfg.op_deadline;
+        let req_id = req.req_id();
+        let mut attempt = 0u32;
+        loop {
+            let failure = match self.try_once(&req, deadline) {
+                Ok(resp) if resp.req_id != req_id => {
+                    // Lost sync — possible only if the stream corrupted;
+                    // treat like any transport failure.
+                    self.teardown();
+                    self.stats.retries += 1;
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response id {} for request {req_id}", resp.req_id),
+                    )
+                }
+                Ok(resp) if resp.status == STATUS_BUSY => {
+                    // Shed before being applied: the server is healthy but
+                    // loaded. Keep the connection, slow down, resend.
+                    self.stats.busy_retries += 1;
+                    io::Error::new(io::ErrorKind::WouldBlock, "server shed the request")
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    self.teardown();
+                    self.stats.retries += 1;
+                    e
+                }
+            };
+            attempt += 1;
+            self.backoff_or_give_up(attempt, deadline, &failure)?;
+        }
+    }
+
+    /// One attempt: connect if needed, re-arm socket deadlines to the
+    /// remaining budget, send, await the response.
+    fn try_once(&mut self, req: &Request, deadline: Instant) -> io::Result<Response> {
+        self.ensure_conn(deadline)?;
+        let cap = remaining_budget(deadline)?.min(self.cfg.io_timeout);
+        let conn = self.conn.as_mut().expect("ensured above");
+        conn.r.get_ref().stream().set_read_timeout(Some(cap))?;
+        conn.w.get_ref().stream().set_write_timeout(Some(cap))?;
+        req.write_to(&mut conn.w)?;
+        conn.w.flush()?;
+        Response::read_from(&mut conn.r)
+    }
+
+    /// Establishes a connection if none is live: connect, hello, declare
+    /// the session. Timeouts are capped by the remaining op budget.
+    fn ensure_conn(&mut self, deadline: Instant) -> io::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let remaining = remaining_budget(deadline)?;
+        let epoch = self.conn_epoch;
+        self.conn_epoch += 1;
+        let stream =
+            TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout.min(remaining))?;
+        stream.set_nodelay(true)?;
+        let io_cap = remaining_budget(deadline)?.min(self.cfg.io_timeout);
+        stream.set_read_timeout(Some(io_cap))?;
+        stream.set_write_timeout(Some(io_cap))?;
+        let write_stream = stream.try_clone()?;
+        // Fresh fault seeds per direction per connection attempt: a
+        // deterministic reset at op 0 must not refire on the reconnect.
+        let mut r = BufReader::with_capacity(
+            64 * 1024,
+            FaultyTransport::maybe(
+                stream,
+                self.cfg.net_faults.map(|p| p.decorrelated(epoch * 2)),
+            ),
+        );
+        let w = FaultyTransport::maybe(
+            write_stream,
+            self.cfg.net_faults.map(|p| p.decorrelated(epoch * 2 + 1)),
+        );
+        let hello = match Hello::read_from(&mut r) {
+            Ok(h) => h,
+            Err(e) => {
+                self.stats.net_faults = self.stats.net_faults.merged(&r.get_ref().counters());
+                return Err(e);
+            }
+        };
+        if self.block_size != 0 && self.block_size != hello.block_size as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "server block size changed across reconnect",
+            ));
+        }
+        self.block_size = hello.block_size as usize;
+        let mut w = BufWriter::with_capacity(64 * 1024, w);
+        // Buffered; rides to the wire with the first request.
+        Request::Session {
+            token: self.session,
+        }
+        .write_to(&mut w)?;
+        self.conn = Some(Conn { r, w });
+        self.stats.connects += 1;
+        Ok(())
+    }
+
+    /// Drops the connection, folding its fault counters into the stats.
+    fn teardown(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.stats.net_faults = self
+                .stats
+                .net_faults
+                .merged(&conn.r.get_ref().counters())
+                .merged(&conn.w.get_ref().counters());
+        }
+    }
+
+    /// Sleeps the jittered exponential backoff for `attempt`, or fails the
+    /// call if the deadline or attempt budget is spent.
+    fn backoff_or_give_up(
+        &mut self,
+        attempt: u32,
+        deadline: Instant,
+        failure: &io::Error,
+    ) -> io::Result<()> {
+        if attempt >= self.cfg.max_attempts {
+            self.stats.deadline_failures += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("retry budget ({attempt} attempts) exhausted; last: {failure}"),
+            ));
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            self.stats.deadline_failures += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("op deadline exceeded after {attempt} attempts; last: {failure}"),
+            ));
+        }
+        // base · 2^(attempt-1), capped, jittered to [0.5, 1.5) so retrying
+        // clients desynchronize, and never sleeping past the deadline.
+        let exp = self
+            .cfg
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.cfg.backoff_cap);
+        let draw = self.jitter_draws;
+        self.jitter_draws += 1;
+        let jitter = 0.5 + (mix(self.cfg.seed ^ draw) % 1024) as f64 / 1024.0;
+        let sleep = exp.mul_f64(jitter).min(deadline - now);
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_jittered_and_deterministic() {
+        let cfg = RetryConfig::default_for(7);
+        let mk = || RetryingClient {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            cfg,
+            session: 0,
+            next_id: 0,
+            block_size: 512,
+            conn: None,
+            conn_epoch: 0,
+            jitter_draws: 0,
+            stats: RetryStats::default(),
+        };
+        // Two clients with the same seed draw the same jitter sequence;
+        // we can observe it through elapsed sleep times being equal-ish,
+        // but directly checking the hash is deterministic is cheaper.
+        let a: Vec<u64> = (0..10).map(|i| mix(7 ^ i) % 1024).collect();
+        let b: Vec<u64> = (0..10).map(|i| mix(7 ^ i) % 1024).collect();
+        assert_eq!(a, b);
+        // The deadline guard fires once spent.
+        let mut c = mk();
+        let past = Instant::now() - StdDuration::from_secs(1);
+        let err = c
+            .backoff_or_give_up(1, past, &io::Error::other("x"))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(c.stats().deadline_failures, 1);
+        // The attempt budget is a hard backstop.
+        let mut c = mk();
+        let future = Instant::now() + StdDuration::from_secs(60);
+        let err = c
+            .backoff_or_give_up(cfg.max_attempts, future, &io::Error::other("x"))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn connect_to_dead_address_times_out_within_deadline() {
+        let mut cfg = RetryConfig::default_for(1);
+        cfg.op_deadline = StdDuration::from_millis(300);
+        cfg.connect_timeout = StdDuration::from_millis(50);
+        cfg.backoff_base = StdDuration::from_millis(1);
+        cfg.backoff_cap = StdDuration::from_millis(10);
+        // A bound-but-not-listening port: grab one, drop the listener.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let start = Instant::now();
+        let err = RetryingClient::connect(addr, 9, cfg).unwrap_err();
+        assert!(
+            start.elapsed() < StdDuration::from_secs(5),
+            "connect retry loop must respect the op deadline"
+        );
+        // Either refused immediately (deadline loop converts to TimedOut
+        // once budget is spent) or timed out; both are deadline-bounded.
+        let _ = err;
+    }
+}

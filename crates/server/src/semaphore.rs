@@ -37,6 +37,33 @@ impl Semaphore {
         }
     }
 
+    /// Blocks up to `timeout` for a permit; `None` if none freed in time.
+    /// Lets a waiter (the accept loop watching its stop flag) poll
+    /// without a busy sleep: the condvar wakes it the moment a permit is
+    /// released.
+    pub fn acquire_timeout(self: &Arc<Self>, timeout: std::time::Duration) -> Option<Permit> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut n = self.permits.lock().expect("semaphore mutex poisoned");
+        while *n == 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, result) = self
+                .available
+                .wait_timeout(n, deadline - now)
+                .expect("semaphore mutex poisoned");
+            n = guard;
+            if result.timed_out() && *n == 0 {
+                return None;
+            }
+        }
+        *n -= 1;
+        Some(Permit {
+            sem: Arc::clone(self),
+        })
+    }
+
     /// Takes a permit only if one is free right now.
     pub fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
         let mut n = self.permits.lock().expect("semaphore mutex poisoned");
@@ -87,6 +114,21 @@ mod tests {
         assert!(sem.try_acquire().is_none(), "both permits taken");
         drop(a);
         assert!(sem.try_acquire().is_some(), "released permit reusable");
+    }
+
+    #[test]
+    fn acquire_timeout_expires_and_succeeds() {
+        let sem = Semaphore::new(1);
+        let held = sem.acquire();
+        assert!(
+            sem.acquire_timeout(Duration::from_millis(10)).is_none(),
+            "no permit frees within the timeout"
+        );
+        drop(held);
+        assert!(
+            sem.acquire_timeout(Duration::from_millis(10)).is_some(),
+            "a free permit is taken immediately"
+        );
     }
 
     #[test]

@@ -92,12 +92,16 @@ fn pipelined_per_lba_read_your_writes_across_clients() {
                 let client = BlockClient::connect(addr).unwrap();
                 assert_eq!(client.block_size(), BLOCK);
                 let (mut tx, mut rx) = client.into_split();
-                // Fully pipelined PUT/GET pairs: the GET for round r is
+                // Pipelined PUT/GET pairs: within a round, the GET is
                 // sent before any response is read, so correctness rests
                 // on the server's per-LBA FIFO, not on client pacing.
+                // Responses are drained between rounds — a client that
+                // does not retry must window its pipelining below the
+                // shard queue depth, or overload shedding answers `BUSY`.
                 // expectations[i] = Some((lba, round)) for GET req ids.
                 let mut expectations: Vec<Option<(u64, u64)>> = Vec::new();
                 for round in 0..ROUNDS {
+                    let drained = expectations.len();
                     for k in 0..LBAS_PER_CLIENT {
                         // Disjoint per-client LBAs, interleaved so
                         // neighbouring clients share shards.
@@ -109,18 +113,18 @@ fn pipelined_per_lba_read_your_writes_across_clients() {
                         assert_eq!(get_id as usize, expectations.len());
                         expectations.push(Some((lba, round)));
                     }
-                }
-                tx.flush_io().unwrap();
-                for _ in 0..expectations.len() {
-                    let resp = rx.recv().unwrap();
-                    assert!(resp.ok(), "op {} failed", resp.req_id);
-                    if let Some((lba, round)) = expectations[resp.req_id as usize] {
-                        assert_eq!(
-                            resp.payload,
-                            payload(c, lba, round),
-                            "client {c}: GET of lba {lba} after round-{round} PUT \
-                             returned wrong data"
-                        );
+                    tx.flush_io().unwrap();
+                    for _ in drained..expectations.len() {
+                        let resp = rx.recv().unwrap();
+                        assert!(resp.ok(), "op {} failed", resp.req_id);
+                        if let Some((lba, round)) = expectations[resp.req_id as usize] {
+                            assert_eq!(
+                                resp.payload,
+                                payload(c, lba, round),
+                                "client {c}: GET of lba {lba} after round-{round} PUT \
+                                 returned wrong data"
+                            );
+                        }
                     }
                 }
             })
@@ -179,7 +183,9 @@ fn graceful_shutdown_drains_and_no_acked_write_is_lost() {
     let report = server.shutdown();
     assert_eq!(report.stats.puts, PUTS);
     assert_eq!(report.stats.op_errors, 0);
-    let (mut stacks, router) = report.stacks.into_shards();
+    assert!(report.panics.is_empty(), "clean run: {:?}", report.panics);
+    assert!(report.shard_health.iter().all(|h| h.is_healthy()));
+    let (mut stacks, router) = report.stacks.expect("no worker lost").into_shards();
 
     // The drain ran barrier_flush on every shard: a crash immediately
     // after the graceful stop finds nothing buffered...
@@ -217,7 +223,7 @@ fn flush_barrier_spans_all_shards() {
     drop(client);
     let report = server.shutdown();
     assert_eq!(report.stats.flushes, 1, "barrier acked exactly once");
-    let (mut stacks, _) = report.stacks.into_shards();
+    let (mut stacks, _) = report.stacks.expect("no worker lost").into_shards();
     for (i, stack) in stacks.iter_mut().enumerate() {
         assert_eq!(
             stack.ssc_mut().crash(),
