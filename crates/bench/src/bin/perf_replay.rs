@@ -29,6 +29,18 @@
 //!   with no FlashTier system combined with `--shards` is a usage error
 //!   (exit 2). With the flag absent the output is byte-identical to a
 //!   shard-free build.
+//! * `--batch N` — replay through the batched pipeline (`run_batch`) with
+//!   N-event decode batches instead of the scalar event loop. Simulated
+//!   time and counters are bit-identical at every batch size (the
+//!   equivalence suite proves it); only host throughput changes. The JSON
+//!   gains a top-level `batch` key; with the flag absent the output is
+//!   byte-identical to a batch-free build.
+//! * `--profile PATH` — write a folded-stacks profile (one
+//!   `frame;frame;... count` line per phase, counts in microseconds of
+//!   wall time) to PATH after the run. The folds cover workload
+//!   generation and each system's replay region and can be rendered with
+//!   any flamegraph tool (`flamegraph.pl`, `inferno-flamegraph`); see
+//!   `scripts/profile.sh`.
 //!
 //! All flags are validated strictly: unknown flags, unparsable values and
 //! invalid combinations exit 2 with a message instead of silently
@@ -38,10 +50,21 @@ use std::time::Instant;
 
 use flashtier_bench::cli::{parse_or_exit, usage_error};
 use flashtier_bench::replay::{
-    run_system, run_system_sharded, ReplaySetup, ReplaySystem, SystemResult,
+    run_system_batched, run_system_sharded_batched, ReplaySetup, ReplaySystem, SystemResult,
 };
 
-const FLAGS: &[&str] = &["--events", "--seed", "--systems", "--faults", "--shards"];
+const FLAGS: &[&str] = &[
+    "--events",
+    "--seed",
+    "--systems",
+    "--faults",
+    "--shards",
+    "--batch",
+    "--profile",
+];
+
+/// Events replayed on a throwaway system before the measured region.
+const WARMUP_EVENTS: u64 = 50_000;
 
 fn main() {
     let args = parse_or_exit(FLAGS);
@@ -67,6 +90,13 @@ fn main() {
     if shards == Some(0) {
         usage_error("--shards must be at least 1");
     }
+    let batch: Option<usize> = args
+        .get_parsed("--batch")
+        .unwrap_or_else(|e| usage_error(&e));
+    if batch == Some(0) {
+        usage_error("--batch must be at least 1");
+    }
+    let profile_path: Option<String> = args.get("--profile").map(str::to_string);
     let systems: Vec<ReplaySystem> = match args.get("--systems") {
         Some(list) => list
             .split(',')
@@ -90,29 +120,68 @@ fn main() {
         );
     }
 
+    let gen_start = Instant::now();
     let t = setup.workload();
+    let gen_wall = gen_start.elapsed();
 
-    // One scoped thread per system; the trace is shared by reference. Join
-    // order preserves the requested reporting order.
+    // Untimed warmup: replay a short prefix on a throwaway system before
+    // the measured region. The first replay of the process otherwise pays
+    // a one-off cold penalty (page faults, allocator growth, branch and
+    // i-cache training) that lands entirely on whichever system happens to
+    // run first and skews its — and the aggregate's — numbers.
+    {
+        let warm_setup = ReplaySetup::perf(WARMUP_EVENTS);
+        let mut warm = warm_setup.flashtier_wt();
+        let prefix = &t.events[..t.events.len().min(WARMUP_EVENTS as usize)];
+        let _ = cachemgr::replay_batched(&mut warm, prefix, batch.unwrap_or(1024).max(1));
+    }
+
+    // The systems replay on a worker pool sized to the host: one worker
+    // per core up to one per system. Oversubscribing a small host (four
+    // replay threads time-slicing one core) adds context-switch and
+    // cache-thrash overhead without any parallelism in return, so the
+    // pool runs the systems sequentially there; on a wide host every
+    // system still gets its own core and the region is bounded by the
+    // slowest system. Results are indexed so the reporting order stays
+    // the requested order regardless of completion order.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(systems.len().max(1));
     let region_start = Instant::now();
-    let results: Vec<SystemResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = systems
-            .iter()
-            .map(|&kind| {
-                let setup = &setup;
-                let t = &t;
-                scope.spawn(move || match shards {
-                    Some(n) => run_system_sharded(kind, setup, t, n),
-                    None => run_system(kind, setup, t),
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replay thread"))
-            .collect()
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<SystemResult>> = Vec::new();
+    results.resize_with(systems.len(), || None);
+    let slots: Vec<std::sync::Mutex<&mut Option<SystemResult>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let setup = &setup;
+            let t = &t;
+            let systems = &systems;
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&kind) = systems.get(i) else { break };
+                let r = match shards {
+                    Some(n) => run_system_sharded_batched(kind, setup, t, n, batch),
+                    None => run_system_batched(kind, setup, t, batch),
+                };
+                **slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
     });
+    drop(slots);
+    let results: Vec<SystemResult> = results
+        .into_iter()
+        .map(|r| r.expect("system result"))
+        .collect();
     let region_wall = region_start.elapsed().as_secs_f64();
+
+    if let Some(path) = &profile_path {
+        write_profile(path, gen_wall, &results);
+    }
 
     let total_events: u64 = results.iter().map(|r| r.events).sum();
     let aggregate = total_events as f64 / region_wall;
@@ -158,8 +227,36 @@ fn main() {
         Some(n) => format!(",\"shards\":{n}"),
         None => String::new(),
     };
+    let batch_field = match batch {
+        Some(n) => format!(",\"batch\":{n}"),
+        None => String::new(),
+    };
     json.push_str(&format!(
-        "}}{shards_field},\"total_wall_s\":{region_wall:.4},\"aggregate_events_per_sec\":{aggregate:.0}}}"
+        "}}{shards_field}{batch_field},\"total_wall_s\":{region_wall:.4},\"aggregate_events_per_sec\":{aggregate:.0}}}"
     ));
     println!("{json}");
+}
+
+/// Writes a folded-stacks wall-time profile of the run: one
+/// `frame;frame;... micros` line per measured phase, in the format
+/// flamegraph renderers consume. The phases are self-instrumented (the
+/// repo builds offline, with no `perf` dependency): trace generation and
+/// each system's whole replay region.
+fn write_profile(path: &str, gen_wall: std::time::Duration, results: &[SystemResult]) {
+    let mut folds = String::new();
+    folds.push_str(&format!(
+        "perf_replay;workload_gen {}\n",
+        gen_wall.as_micros()
+    ));
+    for r in results {
+        folds.push_str(&format!(
+            "perf_replay;replay;{} {}\n",
+            r.name,
+            (r.wall_s * 1e6) as u64
+        ));
+    }
+    if let Err(e) = std::fs::write(path, folds) {
+        eprintln!("error: cannot write profile to {path:?}: {e}");
+        std::process::exit(1);
+    }
 }

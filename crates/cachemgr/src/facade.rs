@@ -50,6 +50,21 @@ impl<S: CacheSystem> ByteFacade<S> {
         self.inner.block_size()
     }
 
+    /// Replays one decoded batch of whole-block events through the inner
+    /// system. The replay harness drives the façade with one-block,
+    /// block-aligned spans: reading such a span is exactly one inner
+    /// `read_into` plus a copy the driver discards, and writing one is
+    /// exactly one inner `write` — so forwarding the batch to the inner
+    /// system's [`CacheSystem::run_batch`] is cost- and state-identical to
+    /// the scalar span loop.
+    ///
+    /// # Errors
+    ///
+    /// Device failures from the underlying system.
+    pub fn run_batch(&mut self, ops: &mut crate::system::BatchCtx) -> Result<()> {
+        self.inner.run_batch(ops)
+    }
+
     /// Reads `len` bytes starting at byte `offset` into the caller's buffer
     /// (resized to `len`), returning the total simulated time. This is the
     /// allocation-free primitive that [`ByteFacade::read_bytes`] wraps.

@@ -9,7 +9,7 @@
 //! merged together for writing to disk."
 
 use disksim::Disk;
-use flashtier_core::{Ssc, SscDevice, SscError};
+use flashtier_core::{Result as SscResult, Ssc, SscDevice, SscError};
 use simkit::{Duration, PageBuf};
 use sparsemap::MapMemory;
 
@@ -62,6 +62,10 @@ pub struct FlashTierWb<D: SscDevice = Ssc> {
     gather_buf: PageBuf,
     /// Reusable single-block buffer for the cleaner's SSC reads.
     block_buf: PageBuf,
+    /// Both tiers run in discard mode: destage and batched-miss transfers
+    /// may skip payload materialization (the bytes are provably never
+    /// retained or read).
+    sink_fills: bool,
 }
 
 impl<D: SscDevice> FlashTierWb<D> {
@@ -88,6 +92,7 @@ impl<D: SscDevice> FlashTierWb<D> {
         );
         let capacity = ssc.data_capacity_pages() as usize;
         let dirty_limit = ((capacity as f64 * fraction) as usize).max(1);
+        let sink_fills = ssc.payload_discarded() && disk.mode() == disksim::DiskDataMode::Discard;
         FlashTierWb {
             ssc,
             disk,
@@ -98,6 +103,7 @@ impl<D: SscDevice> FlashTierWb<D> {
             counters: MgrCounters::default(),
             gather_buf: PageBuf::new(),
             block_buf: PageBuf::new(),
+            sink_fills,
         }
     }
 
@@ -138,6 +144,21 @@ impl<D: SscDevice> FlashTierWb<D> {
         self.dirty_limit
     }
 
+    /// One destage read: fetches `lba` from the SSC into slot `i` of the
+    /// gather buffer. When both tiers discard payloads the read goes through
+    /// the sink (identical lookup, counters, fault draw and timing; no byte
+    /// fill) and the gather slot is left stale — the discard-mode disk the
+    /// run is written to never looks at it.
+    fn destage_read(&mut self, lba: u64, i: usize, bs: usize) -> SscResult<Duration> {
+        if self.sink_fills {
+            self.ssc.read_sink(lba)
+        } else {
+            let cost = self.ssc.read_into(lba, &mut self.block_buf)?;
+            self.gather_buf[i * bs..(i + 1) * bs].copy_from_slice(&self.block_buf);
+            Ok(cost)
+        }
+    }
+
     /// Writes back contiguous LRU runs until the dirty count reaches the low
     /// watermark, returning the simulated time consumed.
     fn clean_down_to(&mut self, target: usize) -> Result<Duration> {
@@ -154,10 +175,9 @@ impl<D: SscDevice> FlashTierWb<D> {
             let mut present: u64 = 0;
             let mut dropped: u64 = 0;
             for (i, &lba) in run.iter().enumerate() {
-                match self.ssc.read_into(lba, &mut self.block_buf) {
+                match self.destage_read(lba, i, bs) {
                     Ok(rcost) => {
                         cost += rcost;
-                        self.gather_buf[i * bs..(i + 1) * bs].copy_from_slice(&self.block_buf);
                         present |= 1 << i;
                     }
                     // Defensive: the SSC never silently evicts dirty data,
@@ -168,11 +188,9 @@ impl<D: SscDevice> FlashTierWb<D> {
                         // copy can never be destaged, so holding it only
                         // wedges the cleaner. Drop the entry; the disk keeps
                         // the last destaged version.
-                        match self.ssc.read_into(lba, &mut self.block_buf) {
+                        match self.destage_read(lba, i, bs) {
                             Ok(rcost) => {
                                 cost += rcost;
-                                self.gather_buf[i * bs..(i + 1) * bs]
-                                    .copy_from_slice(&self.block_buf);
                                 present |= 1 << i;
                             }
                             Err(_) => {
@@ -249,20 +267,20 @@ impl<D: SscDevice> FlashTierWb<D> {
         }
         Ok(t)
     }
-}
 
-impl<D: SscDevice> CacheSystem for FlashTierWb<D> {
-    fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
-        self.counters.reads += 1;
-        match self.ssc.read_into(lba, buf) {
-            Ok(cost) => {
-                self.counters.read_hits += 1;
-                if self.dirty.contains(lba) {
-                    self.dirty.touch(lba);
-                }
-                Ok(cost)
-            }
-            Err(SscError::Flash(e)) if e.is_media_fault() => {
+    /// The non-hit arms of the read path, entered after the SSC probe for
+    /// `lba` returned `err` (the probe's side effects — device counters,
+    /// fault draw — have already happened). Shared by the scalar read and
+    /// the batched run so the two cannot drift.
+    fn read_after_ssc_error(
+        &mut self,
+        lba: u64,
+        err: SscError,
+        buf: &mut PageBuf,
+        sink: bool,
+    ) -> Result<Duration> {
+        match err {
+            SscError::Flash(e) if e.is_media_fault() => {
                 // Unrecoverable cache read: drop the faulted copy and serve
                 // the last destaged (disk) version. When the lost copy was
                 // dirty this trades staleness for availability — counted
@@ -274,12 +292,22 @@ impl<D: SscDevice> CacheSystem for FlashTierWb<D> {
                 }
                 self.counters.read_fault_fallbacks += 1;
                 self.counters.read_misses += 1;
-                cost += self.disk.read_into(lba, buf)?;
+                cost += if sink {
+                    self.disk.read_sink(lba)?
+                } else {
+                    self.disk.read_into(lba, buf)?
+                };
                 Ok(cost)
             }
-            Err(SscError::NotPresent(_)) => {
+            SscError::NotPresent(_) => {
                 self.counters.read_misses += 1;
-                let disk_cost = self.disk.read_into(lba, buf)?;
+                let disk_cost = if sink {
+                    let cost = self.disk.read_sink(lba)?;
+                    let _ = buf.prepare(self.disk.block_size());
+                    cost
+                } else {
+                    self.disk.read_into(lba, buf)?
+                };
                 let fill_cost = match self.ssc.write_clean(lba, buf) {
                     Ok(c) => c,
                     Err(SscError::OutOfSpace) => {
@@ -296,8 +324,72 @@ impl<D: SscDevice> CacheSystem for FlashTierWb<D> {
                 };
                 Ok(disk_cost + fill_cost)
             }
-            Err(e) => Err(e.into()),
+            e => Err(e.into()),
         }
+    }
+}
+
+impl<D: SscDevice> CacheSystem for FlashTierWb<D> {
+    fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
+        self.counters.reads += 1;
+        match self.ssc.read_into(lba, buf) {
+            Ok(cost) => {
+                self.counters.read_hits += 1;
+                if self.dirty.contains(lba) {
+                    self.dirty.touch(lba);
+                }
+                Ok(cost)
+            }
+            Err(e) => self.read_after_ssc_error(lba, e, buf, false),
+        }
+    }
+
+    fn run_batch(&mut self, ops: &mut crate::system::BatchCtx) -> Result<()> {
+        for r in 0..ops.run_count() {
+            let (range, is_write) = ops.run(r);
+            if is_write {
+                for i in range {
+                    let lba = ops.lba(i);
+                    let payload = if self.sink_fills {
+                        ops.sink_payload()
+                    } else {
+                        ops.fill_payload(i)
+                    };
+                    let cost = self.write(lba, payload)?;
+                    ops.observe(cost);
+                }
+            } else {
+                // Hit fast path: probe the SSC for the whole run with sink
+                // reads (the replay driver never inspects hit data), then
+                // replay the per-hit dirty-LRU touches in event order, and
+                // fall back to the scalar miss/fault arms at the first
+                // non-hit.
+                let mut i = range.start;
+                while i < range.end {
+                    let (lbas, costs) = ops.read_run_scratch(i..range.end);
+                    let (served, stop) = self.ssc.read_run_sink(lbas, costs);
+                    self.counters.reads += served as u64;
+                    self.counters.read_hits += served as u64;
+                    for k in i..i + served {
+                        let lba = ops.lba(k);
+                        if self.dirty.contains(lba) {
+                            self.dirty.touch(lba);
+                        }
+                    }
+                    ops.observe_run(served);
+                    i += served;
+                    if let Some(err) = stop {
+                        let lba = ops.lba(i);
+                        let sink = self.sink_fills;
+                        self.counters.reads += 1;
+                        let cost = self.read_after_ssc_error(lba, err, ops.read_buf(), sink)?;
+                        ops.observe(cost);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {

@@ -42,7 +42,10 @@ pub use metrics::MgrCounters;
 pub use native::{NativeCache, NativeConsistency, NativeMode};
 pub use sharded::ShardSet;
 pub use simkit::PageBuf;
-pub use system::{replay, write_payload, write_payload_into, CacheSystem, ReplayStats};
+pub use system::{
+    replay, replay_batched, write_payload, write_payload_into, BatchCtx, CacheSystem, ReplayStats,
+    ResponseAccum,
+};
 
 /// Result alias for cache-manager operations.
 pub type Result<T> = std::result::Result<T, CmError>;

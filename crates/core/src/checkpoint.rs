@@ -36,28 +36,55 @@ pub struct Checkpoint {
     /// Entry counts at write time (pages, blocks) — sizing metadata kept in
     /// the checkpoint header.
     pub entry_counts: (usize, usize),
-    /// The encoded snapshot.
-    bytes: Vec<u8>,
+    /// The captured snapshot, encoded lazily.
+    snapshot: Snapshot,
+}
+
+/// Checkpoint body representation. Every wire frame has a fixed size, so
+/// the encoded length — the only thing the per-write checkpoint policy and
+/// the cost model consume — is known from the entry counts alone. Capture
+/// therefore snapshots the maps and defers serialization until a consumer
+/// actually needs wire bytes (recovery, corruption tests); the hot write
+/// path never pays for encoding checkpoints that are superseded unread.
+#[derive(Debug, Clone)]
+enum Snapshot {
+    /// Materialized wire bytes (after corruption or torn-tail surgery).
+    Encoded(Vec<u8>),
+    /// The captured maps; [`Checkpoint::encode`] produces the exact bytes
+    /// eager capture would have written.
+    Deferred(SscMaps),
 }
 
 impl Checkpoint {
-    /// Serializes the forward maps into a snapshot covering `lsn`.
+    /// Serializes the forward maps into a snapshot covering `lsn`. The
+    /// serialization itself is deferred: capture takes a structural
+    /// snapshot of the maps, whose encoded size is exact (fixed-size
+    /// frames) and whose bytes are produced on demand.
     pub fn capture(maps: &SscMaps, lsn: u64) -> Self {
+        Checkpoint {
+            lsn,
+            entry_counts: (maps.pages.len(), maps.blocks.len()),
+            snapshot: Snapshot::Deferred(maps.clone()),
+        }
+    }
+
+    /// Encodes `maps` into the checkpoint wire format covering `lsn` —
+    /// page entries first, then block entries, matching map iteration
+    /// order.
+    fn encode(maps: &SscMaps, lsn: u64) -> Vec<u8> {
         use crate::wal::LogRecord;
-        let mut bytes = Vec::new();
-        let mut pages = 0;
+        let mut bytes = Vec::with_capacity(
+            maps.pages.len() * PAGE_ENTRY_BYTES as usize
+                + maps.blocks.len() * BLOCK_ENTRY_BYTES as usize,
+        );
         for (lba, ptr) in maps.pages.iter() {
             let record = LogRecord::InsertPage {
                 lba,
                 ppn: ptr.ppn().raw(),
                 dirty: ptr.dirty(),
             };
-            for frame in crate::codec::encode_record(lsn, &record) {
-                bytes.extend_from_slice(&frame);
-            }
-            pages += 1;
+            crate::codec::encode_record_into(lsn, &record, &mut bytes);
         }
-        let mut blocks = 0;
         for (lbn, entry) in maps.blocks.iter() {
             let record = LogRecord::InsertBlock {
                 lbn,
@@ -65,21 +92,32 @@ impl Checkpoint {
                 valid: entry.valid,
                 dirty: entry.dirty,
             };
-            for frame in crate::codec::encode_record(lsn, &record) {
-                bytes.extend_from_slice(&frame);
-            }
-            blocks += 1;
+            crate::codec::encode_record_into(lsn, &record, &mut bytes);
         }
-        Checkpoint {
-            lsn,
-            entry_counts: (pages, blocks),
-            bytes,
+        bytes
+    }
+
+    /// Serialized size in bytes (the real encoded length; frames have
+    /// fixed sizes, so a deferred snapshot knows it without encoding).
+    pub fn bytes(&self) -> u64 {
+        match &self.snapshot {
+            Snapshot::Encoded(bytes) => bytes.len() as u64,
+            Snapshot::Deferred(_) => {
+                self.entry_counts.0 as u64 * PAGE_ENTRY_BYTES
+                    + self.entry_counts.1 as u64 * BLOCK_ENTRY_BYTES
+            }
         }
     }
 
-    /// Serialized size in bytes (the real encoded length).
-    pub fn bytes(&self) -> u64 {
-        self.bytes.len() as u64
+    /// Materializes the wire bytes (encoding a deferred snapshot).
+    fn materialize(&mut self) -> &mut Vec<u8> {
+        if let Snapshot::Deferred(maps) = &self.snapshot {
+            self.snapshot = Snapshot::Encoded(Self::encode(maps, self.lsn));
+        }
+        match &mut self.snapshot {
+            Snapshot::Encoded(bytes) => bytes,
+            Snapshot::Deferred(_) => unreachable!("just materialized"),
+        }
     }
 
     /// Decodes and rebuilds the in-memory maps from the snapshot.
@@ -87,7 +125,18 @@ impl Checkpoint {
     /// Returns `None` if the snapshot fails validation (torn or corrupted)
     /// — the caller falls back to the other slot.
     pub fn restore(&self, ppb: u32) -> Option<SscMaps> {
-        let (records, end) = crate::codec::decode_records(&self.bytes);
+        // A deferred snapshot round-trips through the identical encoding an
+        // eager capture would have flushed, so recovery exercises the same
+        // decode-and-validate path either way.
+        let encoded;
+        let bytes = match &self.snapshot {
+            Snapshot::Encoded(bytes) => bytes.as_slice(),
+            Snapshot::Deferred(maps) => {
+                encoded = Self::encode(maps, self.lsn);
+                encoded.as_slice()
+            }
+        };
+        let (records, end) = crate::codec::decode_records(bytes);
         if end != crate::codec::DecodeEnd::Clean {
             return None;
         }
@@ -117,7 +166,7 @@ impl Checkpoint {
     /// Test hook: flips one byte of the snapshot, simulating media
     /// corruption of this checkpoint region.
     pub fn corrupt(&mut self) {
-        if let Some(byte) = self.bytes.get_mut(0) {
+        if let Some(byte) = self.materialize().get_mut(0) {
             *byte ^= 0xFF;
         }
     }

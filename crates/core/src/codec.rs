@@ -81,6 +81,46 @@ pub fn encode_record(lsn: u64, record: &LogRecord) -> Vec<Frame> {
     }
 }
 
+/// Appends the one or two CRC-framed wire frames for `record` directly to
+/// a byte stream. Produces exactly the bytes of [`encode_record`] without
+/// the per-record frame `Vec`, so flush and checkpoint loops can encode
+/// thousands of records with zero heap traffic.
+pub fn encode_record_into(lsn: u64, record: &LogRecord, out: &mut Vec<u8>) {
+    match *record {
+        LogRecord::InsertPage { lba, ppn, dirty } => {
+            let tag = TAG_INSERT_PAGE | if dirty { FLAG_DIRTY } else { 0 };
+            out.extend_from_slice(&frame(lsn, tag, lba, ppn, 0));
+        }
+        LogRecord::RemovePage { lba } => {
+            out.extend_from_slice(&frame(lsn, TAG_REMOVE_PAGE, lba, 0, 0))
+        }
+        LogRecord::InsertBlock {
+            lbn,
+            pbn,
+            valid,
+            dirty,
+        } => {
+            out.extend_from_slice(&frame(lsn, TAG_INSERT_BLOCK, lbn, pbn, valid));
+            out.extend_from_slice(&frame(lsn, TAG_INSERT_BLOCK_DIRTY, lbn, pbn, dirty));
+        }
+        LogRecord::RemoveBlock { lbn } => {
+            out.extend_from_slice(&frame(lsn, TAG_REMOVE_BLOCK, lbn, 0, 0))
+        }
+        LogRecord::MaskBlockPage { lba } => {
+            out.extend_from_slice(&frame(lsn, TAG_MASK_BLOCK_PAGE, lba, 0, 0))
+        }
+        LogRecord::SetClean { lba } => out.extend_from_slice(&frame(lsn, TAG_SET_CLEAN, lba, 0, 0)),
+    }
+}
+
+/// Number of wire frames [`encode_record`] produces for `record`.
+pub fn record_frames(record: &LogRecord) -> u64 {
+    match record {
+        LogRecord::InsertBlock { .. } => 2,
+        _ => 1,
+    }
+}
+
 /// Result of decoding a frame stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeEnd {
@@ -194,6 +234,23 @@ mod tests {
             }
         }
         bytes
+    }
+
+    #[test]
+    fn encode_record_into_matches_encode_record() {
+        let records = all_record_kinds();
+        let mut streamed = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            let before = streamed.len();
+            encode_record_into(i as u64 + 1, r, &mut streamed);
+            let frames = encode_record(i as u64 + 1, r);
+            assert_eq!(frames.len() as u64, record_frames(r));
+            assert_eq!(
+                streamed.len() - before,
+                frames.len() * RECORD_BYTES as usize
+            );
+        }
+        assert_eq!(streamed, encode_all(&records));
     }
 
     #[test]

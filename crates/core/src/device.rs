@@ -1,6 +1,6 @@
 //! The SSC device: interface operations, internal FTL, silent eviction.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use flashsim::{FlashCounters, FlashDevice, OobData, PageState, Pbn, Ppn, WearStats};
 use ftl::FreeBlockPool;
@@ -162,6 +162,13 @@ pub struct Ssc {
     /// does not allocate: per-offset sources and the batch PPN list.
     sources_scratch: Vec<Option<(Ppn, bool, bool)>>,
     ppn_scratch: Vec<Ppn>,
+    /// Memoized checkpoint trigger: `(base_lsn, appended_bytes threshold)`.
+    /// Both inputs of the log-size policy — the base checkpoint's LSN
+    /// offset and its size-derived threshold — are fixed between
+    /// checkpoint writes, so the per-write policy check reduces to one
+    /// monotonic byte-counter comparison. Invalidated by base-LSN change
+    /// (a new checkpoint, recovery).
+    pub(crate) ckpt_trigger: Option<(u64, u64)>,
     /// Ordered mirror of the clean block-level entries, kept in lockstep
     /// with `maps.blocks` so victim selection and wear leveling are ordered
     /// lookups instead of full-map scans. See [`crate::evict_index`].
@@ -194,6 +201,7 @@ impl Ssc {
             counters: SscCounters::default(),
             sources_scratch: Vec::new(),
             ppn_scratch: Vec::new(),
+            ckpt_trigger: None,
             clean_index: CleanBlockIndex::new(planes),
         }
     }
@@ -206,6 +214,12 @@ impl Ssc {
     /// The configuration this SSC was built with.
     pub fn config(&self) -> &SscConfig {
         &self.config
+    }
+
+    /// Data-retention mode of the underlying flash (store vs discard-mode
+    /// emulation).
+    pub fn data_mode(&self) -> flashsim::DataMode {
+        self.dev.mode()
     }
 
     /// Advisory data capacity in pages (§3.3: the SSC "does not promise a
@@ -458,10 +472,26 @@ impl Ssc {
             return Ok(Duration::ZERO);
         }
         let base_lsn = self.ckpt.latest().map(|c| c.lsn).unwrap_or(0);
-        let log_bytes = self.wal.bytes_since(base_lsn);
-        let threshold = (self.ckpt.latest_bytes() as f64 * self.config.checkpoint_log_ratio)
-            .max(self.page_size() as f64) as u64;
-        if log_bytes <= threshold && self.writes_since_ckpt < self.config.checkpoint_write_interval
+        // The size half of the policy compares bytes appended past the base
+        // checkpoint against a threshold derived from that checkpoint's
+        // size. Both the base offset and the threshold only change when a
+        // new checkpoint lands, so the hot path is one comparison of the
+        // monotonic appended-bytes counter against a memoized trigger —
+        // exactly equivalent to recomputing `bytes_since` and the scaled
+        // threshold every write.
+        let trigger = match self.ckpt_trigger {
+            Some((lsn, trigger)) if lsn == base_lsn => trigger,
+            _ => {
+                let threshold = (self.ckpt.latest_bytes() as f64 * self.config.checkpoint_log_ratio)
+                    .max(self.page_size() as f64) as u64;
+                let base_offset = self.wal.appended_bytes() - self.wal.bytes_since(base_lsn);
+                let trigger = base_offset + threshold;
+                self.ckpt_trigger = Some((base_lsn, trigger));
+                trigger
+            }
+        };
+        if self.wal.appended_bytes() <= trigger
+            && self.writes_since_ckpt < self.config.checkpoint_write_interval
         {
             return Ok(Duration::ZERO);
         }
@@ -605,6 +635,46 @@ impl Ssc {
                 Err(SscError::NotPresent(lba))
             }
         }
+    }
+
+    /// `read` without materializing the payload: identical to
+    /// [`Ssc::read_into`] — same map lookup, counters, fault draw and
+    /// timing — for callers that discard the data (the batched replay
+    /// path's hit fast path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ssc::read_into`].
+    pub fn read_sink(&mut self, lba: u64) -> Result<Duration> {
+        self.counters.host_reads += 1;
+        match self.maps.lookup(lba) {
+            Some(resolved) => Ok(self.dev.read_page_sink(resolved.ppn())?),
+            None => {
+                self.counters.read_misses += 1;
+                Err(SscError::NotPresent(lba))
+            }
+        }
+    }
+
+    /// Sink-reads a run of LBAs, pushing each hit's cost onto `costs`,
+    /// stopping at the first non-`Ok` event. Returns how many leading
+    /// events were fully served plus the error that stopped the run (if
+    /// any). Exactly equivalent to calling [`Ssc::read_sink`] per LBA: the
+    /// stopping event's side effects (counters, fault draw) are the same
+    /// ones its scalar read would have had, so the caller resumes scalar
+    /// error handling at that event.
+    pub fn read_run_sink(
+        &mut self,
+        lbas: &[u64],
+        costs: &mut Vec<Duration>,
+    ) -> (usize, Option<SscError>) {
+        for (i, &lba) in lbas.iter().enumerate() {
+            match self.read_sink(lba) {
+                Ok(cost) => costs.push(cost),
+                Err(e) => return (i, Some(e)),
+            }
+        }
+        (lbas.len(), None)
     }
 
     /// `read`: return the cached data for `lba`. Convenience wrapper over
@@ -870,18 +940,35 @@ impl Ssc {
     fn full_merge(&mut self, victim: Pbn) -> Result<Duration> {
         let mut cost = Duration::ZERO;
         let ppb = self.ppb() as u64;
-        let lbns: BTreeSet<u64> = self
+        // Sorted LBAs of the victim's valid pages. Grouping the sorted list
+        // by LBN visits logical blocks in ascending order (what the old
+        // per-merge `BTreeSet` produced, minus its node allocations), and
+        // within a group the candidates come out in ascending page offset —
+        // the same visit order as a `0..ppb` scan.
+        let mut lbas: Vec<u64> = self
             .dev
             .valid_pages_of(victim)?
             .into_iter()
             .filter_map(|(_, oob)| oob.lba)
-            .map(|lba| lba / ppb)
             .collect();
-        for lbn in lbns {
-            // Live pages of this LBN across the log and its data block.
+        lbas.sort_unstable();
+        lbas.dedup();
+        let mut next = 0;
+        while next < lbas.len() {
+            let lbn = lbas[next] / ppb;
+            let group_start = next;
+            while next < lbas.len() && lbas[next] / ppb == lbn {
+                next += 1;
+            }
+            // Live pages of this LBN across the log and its data block. The
+            // count is only compared against the merge threshold, so stop
+            // probing as soon as the comparison is decided.
             let old_entry = self.maps.blocks.get(lbn).copied();
             let mut live = old_entry.map(|e| e.valid_count()).unwrap_or(0);
             for offset in 0..ppb {
+                if live >= self.config.min_merge_pages {
+                    break;
+                }
                 if self.maps.pages.contains_key(lbn * ppb + offset) {
                     live += 1;
                 }
@@ -890,14 +977,16 @@ impl Ssc {
                 cost += self.merge_lbn(lbn)?;
                 continue;
             }
-            // Thin LBN: drop clean pages, compact dirty ones forward.
-            for offset in 0..ppb {
-                let lba = lbn * ppb + offset;
+            // Thin LBN: drop clean pages, compact dirty ones forward. Only
+            // pages physically in the victim need handling, and every such
+            // page's LBA is in the candidate group (OOB metadata names the
+            // mapped LBA, and a mapped PPN is always a valid page), so the
+            // group replaces the old probe over every offset of the LBN.
+            for &lba in &lbas[group_start..next] {
                 let Some(ptr) = self.maps.pages.get(lba).copied() else {
                     continue;
                 };
-                // Only pages physically in the victim need handling; live
-                // pages in younger log blocks stay where they are.
+                // Live pages in younger log blocks stay where they are.
                 if self.dev.geometry().block_of(ptr.ppn()) != victim {
                     continue;
                 }

@@ -45,6 +45,49 @@ pub trait SscDevice {
     /// [`crate::SscError::NotPresent`] on a miss, or a flash fault.
     fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration>;
 
+    /// `read` without materializing the payload — same lookup, counters,
+    /// fault draw and timing as [`SscDevice::read_into`], for callers that
+    /// discard the data (the batched replay hit path). The default falls
+    /// back to a buffered read; devices override it to skip the fill.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SscDevice::read_into`].
+    fn read_sink(&mut self, lba: u64) -> Result<Duration> {
+        let mut buf = PageBuf::new();
+        self.read_into(lba, &mut buf)
+    }
+
+    /// `true` when the device provably ignores payload bytes (discard-mode
+    /// emulation): writes retain no data and reads synthesize it. Managers
+    /// use this — together with the same property on the disk tier — to
+    /// skip materializing payloads the simulation never looks at. The
+    /// conservative default keeps store-mode semantics.
+    fn payload_discarded(&self) -> bool {
+        false
+    }
+
+    /// Sink-reads a run of LBAs, pushing each served event's cost onto
+    /// `costs` and stopping at the first non-`Ok` event. Returns how many
+    /// leading events were fully served plus the error that stopped the
+    /// run. Must be exactly equivalent to calling [`SscDevice::read_sink`]
+    /// per LBA: the stopping event carries the same side effects its
+    /// scalar read would have had, so the caller resumes scalar error
+    /// handling at that event.
+    fn read_run_sink(
+        &mut self,
+        lbas: &[u64],
+        costs: &mut Vec<Duration>,
+    ) -> (usize, Option<crate::SscError>) {
+        for (i, &lba) in lbas.iter().enumerate() {
+            match self.read_sink(lba) {
+                Ok(cost) => costs.push(cost),
+                Err(e) => return (i, Some(e)),
+            }
+        }
+        (lbas.len(), None)
+    }
+
     /// `write-clean`: insert or update `lba` with clean data.
     ///
     /// # Errors
@@ -130,8 +173,24 @@ impl SscDevice for Ssc {
         Ssc::map_memory(self)
     }
 
+    fn payload_discarded(&self) -> bool {
+        self.data_mode() == flashsim::DataMode::Discard
+    }
+
     fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         Ssc::read_into(self, lba, buf)
+    }
+
+    fn read_sink(&mut self, lba: u64) -> Result<Duration> {
+        Ssc::read_sink(self, lba)
+    }
+
+    fn read_run_sink(
+        &mut self,
+        lbas: &[u64],
+        costs: &mut Vec<Duration>,
+    ) -> (usize, Option<crate::SscError>) {
+        Ssc::read_run_sink(self, lbas, costs)
     }
 
     fn write_clean(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {

@@ -40,8 +40,11 @@ impl Ssc {
         self.rebuild_clean_index();
         self.log_blocks.clear();
         self.pending_retire.clear();
-        // A pending crash schedule dies with the power.
+        // A pending crash schedule dies with the power, and so does the
+        // memoized checkpoint trigger (its absolute WAL offsets are stale
+        // once a torn tail can rewind the durable stream).
         self.armed_crash = None;
+        self.ckpt_trigger = None;
         // The free pool is RAM state too; recovery rebuilds it.
         self.pool = FreeBlockPool::new(self.dev.geometry().planes());
         lost
@@ -61,6 +64,9 @@ impl Ssc {
         if self.dev.counters().erases > self.erases_at_last_flush {
             return self.wal.crash_torn(0);
         }
+        // Tearing the tail rewinds absolute WAL offsets; drop the memoized
+        // checkpoint trigger rather than trust them.
+        self.ckpt_trigger = None;
         self.wal.crash_torn(lose_tail_bytes)
     }
 

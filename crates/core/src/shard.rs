@@ -263,6 +263,18 @@ impl ShardedSsc {
         self.charge(s, r)
     }
 
+    /// Payload-free `read` routed to the owning shard (see
+    /// [`Ssc::read_sink`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Ssc::read_into`].
+    pub fn read_sink(&mut self, lba: u64) -> Result<Duration> {
+        let s = self.route(lba);
+        let r = self.shards[s].read_sink(lba);
+        self.charge(s, r)
+    }
+
     /// `read` returning a fresh buffer.
     ///
     /// # Errors
@@ -443,8 +455,17 @@ impl SscDevice for ShardedSsc {
         ShardedSsc::map_memory(self)
     }
 
+    fn payload_discarded(&self) -> bool {
+        // Shards are uniformly constructed; all share one data mode.
+        self.shards.iter().all(|s| s.payload_discarded())
+    }
+
     fn read_into(&mut self, lba: u64, buf: &mut PageBuf) -> Result<Duration> {
         ShardedSsc::read_into(self, lba, buf)
+    }
+
+    fn read_sink(&mut self, lba: u64) -> Result<Duration> {
+        ShardedSsc::read_sink(self, lba)
     }
 
     fn write_clean(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {

@@ -123,6 +123,8 @@ pub struct Wal {
     timing: FlashTiming,
     page_size: usize,
     counters: WalCounters,
+    /// Memoized `(lsn, partition index)` for [`Wal::offset_after`].
+    offset_cache: std::cell::Cell<Option<(u64, usize)>>,
 }
 
 impl Wal {
@@ -139,6 +141,7 @@ impl Wal {
             timing,
             page_size,
             counters: WalCounters::default(),
+            offset_cache: std::cell::Cell::new(None),
         }
     }
 
@@ -171,9 +174,7 @@ impl Wal {
         let records = self.buffer.len() as u64;
         for (lsn, record) in self.buffer.drain(..) {
             self.index.push((lsn, self.trimmed + self.durable.len()));
-            for frame in crate::codec::encode_record(lsn, &record) {
-                self.durable.extend_from_slice(&frame);
-            }
+            crate::codec::encode_record_into(lsn, &record, &mut self.durable);
         }
         let bytes = (self.durable.len() - start_len) as u64;
         self.last_flush_bytes = bytes as usize;
@@ -185,7 +186,18 @@ impl Wal {
     }
 
     fn offset_after(&self, lsn: u64) -> usize {
-        let pos = self.index.partition_point(|(l, _)| *l <= lsn);
+        // The checkpoint policy asks for the same base LSN on every write,
+        // so memoize the partition index. The cached position survives
+        // appends untouched (new records always carry larger LSNs and land
+        // at the tail); truncation and torn crashes adjust it in place.
+        let pos = match self.offset_cache.get() {
+            Some((cached_lsn, pos)) if cached_lsn == lsn => pos,
+            _ => {
+                let pos = self.index.partition_point(|(l, _)| *l <= lsn);
+                self.offset_cache.set(Some((lsn, pos)));
+                pos
+            }
+        };
         match self.index.get(pos) {
             Some(&(_, offset)) => offset - self.trimmed,
             None => self.durable.len(),
@@ -207,6 +219,15 @@ impl Wal {
         (self.durable.len() - self.offset_after(lsn)) as u64
     }
 
+    /// Absolute bytes ever flushed since log creation (truncation trims
+    /// the front without rewinding this counter). For a fixed `lsn` whose
+    /// durable suffix is intact, `bytes_since(lsn)` equals this counter
+    /// minus a constant — the identity the checkpoint-trigger memo in
+    /// [`crate::Ssc`] relies on. Only a torn crash can rewind it.
+    pub fn appended_bytes(&self) -> u64 {
+        (self.trimmed + self.durable.len()) as u64
+    }
+
     /// Drops durable records at or before `lsn` (the checkpoint has
     /// superseded them).
     pub fn truncate_through(&mut self, lsn: u64) {
@@ -215,6 +236,10 @@ impl Wal {
         self.trimmed += cut;
         let keep = self.index.partition_point(|(l, _)| *l <= lsn);
         self.index.drain(..keep);
+        if let Some((cached_lsn, pos)) = self.offset_cache.get() {
+            self.offset_cache
+                .set(Some((cached_lsn, pos.saturating_sub(keep))));
+        }
     }
 
     /// Simulates a power failure: every buffered (unflushed) record is lost.
@@ -253,6 +278,10 @@ impl Wal {
             keep_records -= 1;
         }
         self.index.truncate(keep_records);
+        if let Some((cached_lsn, pos)) = self.offset_cache.get() {
+            self.offset_cache
+                .set(Some((cached_lsn, pos.min(self.index.len()))));
+        }
         // Rewind the write pointer past the torn partial frame, as recovery
         // does on a real log: subsequent appends start at a record boundary.
         let rewind_to = self
@@ -266,9 +295,7 @@ impl Wal {
                 start
                     + records
                         .first()
-                        .map(|(_, r)| {
-                            crate::codec::encode_record(0, r).len() * RECORD_BYTES as usize
-                        })
+                        .map(|(_, r)| (crate::codec::record_frames(r) * RECORD_BYTES) as usize)
                         .unwrap_or(0)
             })
             .unwrap_or(0);

@@ -100,6 +100,11 @@ impl Disk {
         self.config.block_size
     }
 
+    /// The data-retention mode this disk was built with.
+    pub fn mode(&self) -> DiskDataMode {
+        self.mode
+    }
+
     fn check(&self, lba: u64) -> Result<()> {
         if lba < self.config.capacity_blocks {
             Ok(())
@@ -146,6 +151,23 @@ impl Disk {
                 None => out.fill(0),
             },
         }
+        Ok(cost)
+    }
+
+    /// Reads one block without materializing the payload — same bounds
+    /// check, head movement, counters and timing as [`Disk::read_into`],
+    /// minus the byte fill. For callers that provably discard the data
+    /// (the batched replay's discard-mode miss and destage paths): the
+    /// disk models no data-dependent behavior, so the two are equivalent
+    /// by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::LbaOutOfRange`] for bad addresses.
+    pub fn read_sink(&mut self, lba: u64) -> Result<Duration> {
+        self.check(lba)?;
+        let cost = self.access_cost(lba);
+        self.counters.reads += 1;
         Ok(cost)
     }
 
@@ -299,6 +321,27 @@ mod tests {
         // A third write changes the content.
         a.write(5, &block(0)).unwrap();
         assert_ne!(a.read(5).unwrap().0, b.read(5).unwrap().0);
+    }
+
+    #[test]
+    fn read_sink_matches_read_into_exactly() {
+        // Same LBA sequence (mixing sequential and random positioning)
+        // through both read paths: identical costs, counters and head
+        // state at every step.
+        let lbas = [7u64, 8, 9, 3, 4, 100, 7];
+        let mut filled = Disk::new(DiskConfig::paper_default(), DiskDataMode::Discard);
+        let mut sunk = Disk::new(DiskConfig::paper_default(), DiskDataMode::Discard);
+        for d in [&mut filled, &mut sunk] {
+            d.write(7, &block(1)).unwrap();
+        }
+        let mut buf = simkit::PageBuf::new();
+        for &lba in &lbas {
+            let a = filled.read_into(lba, &mut buf).unwrap();
+            let b = sunk.read_sink(lba).unwrap();
+            assert_eq!(a, b, "lba {lba}");
+        }
+        assert_eq!(filled.counters(), sunk.counters());
+        assert!(sunk.read_sink(u64::MAX).is_err());
     }
 
     #[test]

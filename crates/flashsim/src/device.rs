@@ -273,6 +273,39 @@ impl FlashDevice {
         Ok(cost)
     }
 
+    /// A *host* read whose payload the caller will not inspect: identical to
+    /// [`FlashDevice::read_page_into`] — same validation, same fault draw
+    /// (including transient retries), same counters and timing — except the
+    /// payload is never materialized. The batched replay path uses this for
+    /// cache hits, where the replay driver discards the data; unlike
+    /// [`FlashDevice::read_page_charge`] it advances the fault-injector
+    /// stream exactly as a real host read would, so a sink read and a
+    /// buffered read are interchangeable event-for-event.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashDevice::read_page_into`].
+    pub fn read_page_sink(&mut self, ppn: Ppn) -> Result<Duration> {
+        self.check_ppn(ppn)?;
+        let g = self.config.geometry;
+        let pbn = g.block_of(ppn);
+        let idx = g.page_in_block(ppn) as usize;
+        if self.block(pbn).pages[idx].state == PageState::Free {
+            return Err(FlashError::ReadFree(ppn));
+        }
+        let mut retries = 0u64;
+        if let Some(inj) = &mut self.faults {
+            match inj.on_read(ppn) {
+                ReadFault::None => {}
+                ReadFault::Transient => retries = 1,
+                ReadFault::Failed => return Err(FlashError::ReadFailed(ppn)),
+                ReadFault::Corrupt => return Err(FlashError::ReadCorrupt(ppn)),
+            }
+        }
+        self.counters.page_reads += 1;
+        Ok(self.config.timing.read_cost() * (1 + retries))
+    }
+
     /// Charges the cost and counters of reading one programmed page without
     /// materializing its payload — the read half of a device-internal copy
     /// ([`FlashDevice::copy_page_from`]), where the data never crosses to

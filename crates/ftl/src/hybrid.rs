@@ -389,6 +389,27 @@ impl BlockDev for HybridFtl {
         Ok(self.dev.timing().metadata_cost())
     }
 
+    fn read_sink(&mut self, lba: u64) -> Result<Duration> {
+        self.check_lba(lba)?;
+        self.counters.host_reads += 1;
+        if let Some(&ppn) = self.log_map.get(lba) {
+            return Ok(self.dev.read_page_sink(ppn)?);
+        }
+        let lbn = (lba / self.ppb() as u64) as usize;
+        if let Some(pbn) = self.data_map[lbn] {
+            let offset = lba % self.ppb() as u64;
+            let ppn = Ppn(self.dev.geometry().first_page(pbn).raw() + offset);
+            if self.dev.page_state(ppn)? == PageState::Valid {
+                return Ok(self.dev.read_page_sink(ppn)?);
+            }
+        }
+        Ok(self.dev.timing().metadata_cost())
+    }
+
+    fn payload_discarded(&self) -> bool {
+        self.dev.mode() == flashsim::DataMode::Discard
+    }
+
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {
         self.check_lba(lba)?;
         let mut cost = Duration::ZERO;

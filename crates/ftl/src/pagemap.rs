@@ -222,6 +222,19 @@ impl BlockDev for PageFtl {
         }
     }
 
+    fn read_sink(&mut self, lba: u64) -> Result<Duration> {
+        self.check_lba(lba)?;
+        self.counters.host_reads += 1;
+        match self.map.get(&lba) {
+            Some(&ppn) => Ok(self.dev.read_page_sink(ppn)?),
+            None => Ok(self.dev.timing().metadata_cost()),
+        }
+    }
+
+    fn payload_discarded(&self) -> bool {
+        self.dev.mode() == flashsim::DataMode::Discard
+    }
+
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration> {
         self.check_lba(lba)?;
         let mut cost = Duration::ZERO;

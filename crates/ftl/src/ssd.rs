@@ -63,6 +63,25 @@ pub trait BlockDev {
         Ok((buf.into_vec(), cost))
     }
 
+    /// Reads one logical page without materializing the payload — same
+    /// mapping lookup, counters, fault draw and timing as
+    /// [`BlockDev::read_into`], for callers that discard the data (the
+    /// batched replay hit path). The default falls back to a buffered
+    /// read; FTLs override it to skip the fill.
+    fn read_sink(&mut self, lba: u64) -> Result<Duration> {
+        let mut buf = PageBuf::new();
+        self.read_into(lba, &mut buf)
+    }
+
+    /// `true` when the device provably ignores payload bytes (discard-mode
+    /// emulation): writes retain no data and reads synthesize it. Managers
+    /// use this — together with the same property on the disk tier — to
+    /// skip materializing payloads the simulation never looks at. The
+    /// conservative default keeps store-mode semantics.
+    fn payload_discarded(&self) -> bool {
+        false
+    }
+
     /// Writes one logical page.
     fn write(&mut self, lba: u64, data: &[u8]) -> Result<Duration>;
 

@@ -24,7 +24,7 @@ pub mod rng;
 pub mod stats;
 
 pub use clock::{Duration, SimClock, SimTime};
-pub use crc::crc32;
+pub use crc::{crc32, crc32_bytewise};
 pub use iobuf::PageBuf;
 pub use rng::{fill_pseudo, SimRng};
 pub use stats::{Cdf, Histogram, Summary};

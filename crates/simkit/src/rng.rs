@@ -180,6 +180,70 @@ impl SimRng {
 mod tests {
     use super::*;
 
+    /// Byte-at-a-time reference model of [`fill_pseudo`]: computes every
+    /// output byte independently from its position, with no word-level
+    /// copies. The optimized word-at-a-time fill must match it exactly.
+    fn fill_pseudo_reference(seed: u64, out: &mut [u8]) {
+        const LANES: [u64; 8] = [
+            0xA076_1D64_78BD_642F,
+            0xE703_7ED1_A0B4_28DB,
+            0x8EBC_6AF0_9C88_C6E3,
+            0x5899_65CC_7537_4CC3,
+            0x1D8E_4E27_C47D_124F,
+            0xEB44_ACCA_B455_D165,
+            0x2D35_8DCC_AA6C_78A5,
+            0x8BB8_4B93_962E_ACC9,
+        ];
+        let mut state = seed;
+        let full_runs = out.len() / 64;
+        for r in 0..full_runs {
+            let z = splitmix64(&mut state);
+            for j in 0..64 {
+                let lane = j / 8;
+                let byte = j % 8;
+                out[r * 64 + j] = ((z ^ LANES[lane]) >> (8 * byte)) as u8;
+            }
+        }
+        // Tail: one fresh mix per (possibly partial) 8-byte word.
+        let tail = &mut out[full_runs * 64..];
+        for word in tail.chunks_mut(8) {
+            let z = splitmix64(&mut state);
+            for (b, slot) in word.iter_mut().enumerate() {
+                *slot = (z >> (8 * b)) as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn fill_pseudo_matches_byte_loop_reference() {
+        // Every length class: empty, partial word, partial run, exact run
+        // boundaries, page-sized, and ragged tails.
+        let sizes = [
+            0usize, 1, 3, 7, 8, 9, 15, 31, 63, 64, 65, 100, 127, 128, 200, 511, 512, 4096, 4097,
+        ];
+        for seed in [0u64, 1, 42, 0x0102_0304_0506_0708, u64::MAX] {
+            for &n in &sizes {
+                let mut fast = vec![0u8; n];
+                let mut reference = vec![0xAAu8; n];
+                fill_pseudo(seed, &mut fast);
+                fill_pseudo_reference(seed, &mut reference);
+                assert_eq!(fast, reference, "seed {seed:#x} len {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_pseudo_is_seed_sensitive() {
+        let mut a = vec![0u8; 4096];
+        let mut b = vec![0u8; 4096];
+        fill_pseudo(1, &mut a);
+        fill_pseudo(2, &mut b);
+        assert_ne!(a, b);
+        let mut a2 = vec![0u8; 4096];
+        fill_pseudo(1, &mut a2);
+        assert_eq!(a, a2);
+    }
+
     #[test]
     fn same_seed_same_stream() {
         let mut a = SimRng::seed_from(7);

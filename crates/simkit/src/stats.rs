@@ -201,6 +201,13 @@ impl Histogram {
         Some(u64::MAX)
     }
 
+    /// The raw per-bucket counts (bucket `i` covers `[2^i, 2^(i+1))`).
+    /// Exposed so equivalence tests can compare full distributions, not
+    /// just quantiles.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
